@@ -1,0 +1,120 @@
+//! The `barrier` benchmark: "a synthetic application ... consists entirely
+//! of barriers and thus synchronizes constantly" (§5.1).
+//!
+//! The barrier is a dissemination barrier: `log2(P)` rounds in which node
+//! `i` sends a token to node `(i + 2^k) mod P` and waits for the token
+//! from `(i − 2^k) mod P`. On eight nodes that is 3 messages per node per
+//! barrier — 24 per barrier machine-wide, matching the paper's 240,177
+//! messages for 10,000 barriers.
+
+use std::sync::{Arc, Mutex};
+
+use udm::{Envelope, JobSpec, Program, UserCtx};
+
+/// Handler id for barrier tokens. Payload: `[round]`.
+const H_TOKEN: u32 = 1;
+
+/// Parameters for the barrier benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierParams {
+    /// Number of barrier episodes (the paper runs 10,000).
+    pub barriers: u32,
+    /// Cycles of "work" between barriers (the paper's version has none).
+    pub work: u64,
+}
+
+impl Default for BarrierParams {
+    fn default() -> Self {
+        BarrierParams {
+            barriers: 1_000,
+            work: 0,
+        }
+    }
+}
+
+/// Per-node barrier state: tokens received per round, cumulative.
+struct NodeState {
+    arrived: Vec<u64>,
+}
+
+/// The dissemination-barrier program.
+pub struct BarrierApp {
+    params: BarrierParams,
+    nodes: Vec<Mutex<NodeState>>,
+    rounds: usize,
+}
+
+impl BarrierApp {
+    /// Builds the program for a machine of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes` is a power of two (dissemination rounds).
+    pub fn new(nodes: usize, params: BarrierParams) -> Self {
+        assert!(nodes.is_power_of_two(), "barrier requires power-of-two nodes");
+        let rounds = nodes.trailing_zeros() as usize;
+        BarrierApp {
+            params,
+            nodes: (0..nodes)
+                .map(|_| {
+                    Mutex::new(NodeState {
+                        arrived: vec![0; rounds.max(1)],
+                    })
+                })
+                .collect(),
+            rounds,
+        }
+    }
+
+    /// Job spec named "barrier".
+    pub fn spec(nodes: usize, params: BarrierParams) -> JobSpec {
+        JobSpec::new("barrier", Arc::new(BarrierApp::new(nodes, params)))
+    }
+
+    fn wait_key(round: usize) -> u32 {
+        0x4000_0000 | round as u32
+    }
+}
+
+impl Program for BarrierApp {
+    fn main(&self, ctx: &mut UserCtx<'_>) {
+        let me = ctx.node();
+        let p = ctx.nodes();
+        if p == 1 {
+            for _ in 0..self.params.barriers {
+                ctx.compute(self.params.work.max(1));
+            }
+            return;
+        }
+        for b in 0..self.params.barriers {
+            if self.params.work > 0 {
+                ctx.compute(self.params.work);
+            }
+            for k in 0..self.rounds {
+                let peer = (me + (1 << k)) % p;
+                ctx.send(peer, H_TOKEN, &[k as u32]);
+                // Wait until the cumulative token count for this round
+                // covers this barrier episode.
+                loop {
+                    {
+                        let st = self.nodes[me].lock().unwrap();
+                        if st.arrived[k] > b as u64 {
+                            break;
+                        }
+                    }
+                    ctx.block(Self::wait_key(k));
+                }
+            }
+        }
+    }
+
+    fn handler(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        debug_assert_eq!(env.handler.0, H_TOKEN);
+        let round = env.payload[0] as usize;
+        {
+            let mut st = self.nodes[ctx.node()].lock().unwrap();
+            st.arrived[round] += 1;
+        }
+        ctx.wake(Self::wait_key(round));
+    }
+}

@@ -1,0 +1,446 @@
+//! The `enum` benchmark: "a fine-grain, data-parallel application that
+//! exchanges numerous unacknowledged short messages and synchronizes only
+//! infrequently" (§5.1) — enumeration of all solutions of the triangular
+//! peg-solitaire puzzle ("triangle puzzle"), after Kirk Johnson's original.
+//!
+//! Board: a triangle with `side` rows (`side·(side+1)/2` holes), initially
+//! full except the apex. A move jumps a peg over an adjacent peg into an
+//! empty hole along any of the six triangular-grid directions, removing
+//! the jumped peg. The program counts every distinct jump sequence ending
+//! with a single peg.
+//!
+//! Parallelization: search-tree nodes near the root are *sprayed* to an
+//! owner node chosen by hashing the board state (one unacknowledged UDM
+//! message each — the paper's dominant traffic); deeper subtrees are
+//! enumerated locally. Termination uses a coordinator-probed,
+//! two-round-stable count of sent vs. processed work messages — the only
+//! synchronization in the program, and an infrequent one.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use udm::{Envelope, JobSpec, Program, UserCtx};
+
+const H_WORK: u32 = 1;
+const H_PROBE: u32 = 2;
+const H_REPORT: u32 = 3;
+const H_STOP: u32 = 4;
+const H_SOLN: u32 = 5;
+const H_STEAL: u32 = 6;
+const H_NOWORK: u32 = 7;
+
+const WAIT_WORK: u32 = 0x6000_0000;
+
+/// Parameters of the enum benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumParams {
+    /// Rows in the triangle. The paper uses 6 ("6 pegs/side"); the scaled
+    /// default is 5 (15 holes), which still produces hundreds of thousands
+    /// of search nodes.
+    pub side: u32,
+    /// Which hole starts empty (0 = apex). Note the side-4 board is
+    /// unsolvable from the apex; use hole 1 there.
+    pub empty: u32,
+    /// Search-tree depth (pegs removed) up to which *every* child is
+    /// sprayed to its hash-owner node, for initial load distribution.
+    pub spray_depth: u32,
+    /// Below `spray_depth`, the percentage of children sprayed (chosen
+    /// deterministically by board hash). This spreads messaging evenly
+    /// over the whole run, like the original benchmark's steady fine-grain
+    /// traffic, instead of a saturating burst at the top of the tree.
+    pub spray_percent: u32,
+    /// Boards handed over per work-steal grant (idle nodes steal from the
+    /// shallow end of a victim's queue, keeping the search balanced).
+    pub steal_batch: usize,
+    /// Cycles charged per node expansion (move generation).
+    pub expand_cost: u64,
+}
+
+impl Default for EnumParams {
+    fn default() -> Self {
+        EnumParams {
+            side: 5,
+            empty: 0,
+            spray_depth: 4,
+            spray_percent: 7,
+            steal_batch: 2,
+            expand_cost: 150,
+        }
+    }
+}
+
+/// Triangular-board move table: (from, over, to) position triples.
+fn move_table(side: u32) -> Vec<(u32, u32, u32)> {
+    let idx = |r: i32, c: i32| -> Option<u32> {
+        if r >= 0 && r < side as i32 && c >= 0 && c <= r {
+            Some((r * (r + 1) / 2 + c) as u32)
+        } else {
+            None
+        }
+    };
+    let mut moves = Vec::new();
+    for r in 0..side as i32 {
+        for c in 0..=r {
+            let from = idx(r, c).expect("in range");
+            // Six directions on the triangular grid: (dr, dc).
+            for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0), (1, 1), (-1, -1)] {
+                if let (Some(over), Some(to)) = (idx(r + dr, c + dc), idx(r + 2 * dr, c + 2 * dc))
+                {
+                    moves.push((from, over, to));
+                }
+            }
+        }
+    }
+    moves
+}
+
+fn hash_board(b: u32) -> u64 {
+    let mut z = b as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    queue: VecDeque<u32>,
+    sent: u32,
+    processed: u32,
+    expanding: bool,
+    stopped: bool,
+    /// A steal request is outstanding; cleared by a work grant or an
+    /// explicit no-work reply. Prevents banked wake permits from spinning
+    /// the idle loop into a steal flood.
+    steal_out: bool,
+    solutions: u64,
+    // Coordinator (node 0) only:
+    reports: Vec<Option<(u32, u32, bool)>>, // per node (sent, processed, idle)
+    report_gen: u32,
+    last_totals: Option<(u32, u32)>,
+    soln_in: usize,
+    soln_total: u64,
+}
+
+/// The enum program. Total solutions are published through
+/// [`EnumApp::solutions`] after the run.
+pub struct EnumApp {
+    params: EnumParams,
+    moves: Vec<(u32, u32, u32)>,
+    holes: u32,
+    nodes: Vec<Mutex<NodeState>>,
+    result: Mutex<Option<u64>>,
+}
+
+impl EnumApp {
+    /// Builds the program for `nodes` nodes.
+    pub fn new(nodes: usize, params: EnumParams) -> Self {
+        assert!((3..=6).contains(&params.side), "side must be 3..=6");
+        let holes = params.side * (params.side + 1) / 2;
+        assert!(params.empty < holes, "empty hole out of range");
+        EnumApp {
+            moves: move_table(params.side),
+            params,
+            holes,
+            nodes: (0..nodes)
+                .map(|_| {
+                    Mutex::new(NodeState {
+                        reports: vec![None; nodes],
+                        ..NodeState::default()
+                    })
+                })
+                .collect(),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Job spec named "enum".
+    pub fn spec(nodes: usize, params: EnumParams) -> Arc<EnumApp> {
+        Arc::new(EnumApp::new(nodes, params))
+    }
+
+    /// Wraps an `Arc`'d app into a job spec.
+    pub fn job(app: &Arc<EnumApp>) -> JobSpec {
+        JobSpec::new("enum", Arc::clone(app) as Arc<dyn Program>)
+    }
+
+    /// The total number of solutions, available after the run completes.
+    pub fn solutions(&self) -> Option<u64> {
+        *self.result.lock().unwrap()
+    }
+
+    /// Sequential reference enumeration (host-side), for validation.
+    pub fn reference_count(params: EnumParams) -> u64 {
+        let holes = params.side * (params.side + 1) / 2;
+        let moves = move_table(params.side);
+        let root = ((1u32 << holes) - 1) & !(1 << params.empty);
+        let mut stack = vec![root];
+        let mut solutions = 0u64;
+        while let Some(b) = stack.pop() {
+            if b.count_ones() == 1 {
+                solutions += 1;
+                continue;
+            }
+            for &(from, over, to) in &moves {
+                if b & (1 << from) != 0 && b & (1 << over) != 0 && b & (1 << to) == 0 {
+                    stack.push(b & !(1 << from) & !(1 << over) | (1 << to));
+                }
+            }
+        }
+        solutions
+    }
+
+    fn initial_board(&self) -> u32 {
+        ((1u32 << self.holes) - 1) & !(1 << self.params.empty)
+    }
+
+    /// Expands one board, spraying shallow children and queueing deep ones.
+    fn expand(&self, ctx: &mut UserCtx<'_>, board: u32) {
+        let me = ctx.node();
+        let p = ctx.nodes();
+        ctx.compute(self.params.expand_cost);
+        if board.count_ones() == 1 {
+            self.nodes[me].lock().unwrap().solutions += 1;
+            return;
+        }
+        let depth = self.holes - 1 - board.count_ones(); // pegs removed so far
+        let mut outgoing: Vec<(usize, u32)> = Vec::new();
+        {
+            let mut st = self.nodes[me].lock().unwrap();
+            for &(from, over, to) in &self.moves {
+                if board & (1 << from) != 0 && board & (1 << over) != 0 && board & (1 << to) == 0
+                {
+                    let child = board & !(1 << from) & !(1 << over) | (1 << to);
+                    let h = hash_board(child);
+                    let spray = p > 1
+                        && (depth < self.params.spray_depth
+                            || (h >> 32) % 100 < self.params.spray_percent as u64);
+                    let dst = if spray {
+                        (h % p as u64) as usize
+                    } else {
+                        me
+                    };
+                    if dst == me {
+                        st.queue.push_back(child);
+                    } else {
+                        st.sent += 1;
+                        outgoing.push((dst, child));
+                    }
+                }
+            }
+        }
+        for (dst, child) in outgoing {
+            ctx.send(dst, H_WORK, &[child]);
+        }
+    }
+
+    /// Coordinator: one probe round; returns `true` when stably terminated.
+    fn coordinator_round(&self, ctx: &mut UserCtx<'_>) -> bool {
+        let p = ctx.nodes();
+        let gen = {
+            let mut st = self.nodes[0].lock().unwrap();
+            st.report_gen += 1;
+            st.reports = vec![None; p];
+            // Self-report.
+            let self_idle = st.queue.is_empty() && !st.expanding;
+            st.reports[0] = Some((st.sent, st.processed, self_idle));
+            st.report_gen
+        };
+        for n in 1..p {
+            ctx.send(n, H_PROBE, &[gen]);
+        }
+        // Wait for all reports (they arrive via interrupts).
+        loop {
+            {
+                let st = self.nodes[0].lock().unwrap();
+                if st.reports.iter().all(Option::is_some) {
+                    break;
+                }
+                if !st.queue.is_empty() {
+                    return false; // new work arrived; abandon this round
+                }
+            }
+            ctx.compute(1_000);
+        }
+        let mut st = self.nodes[0].lock().unwrap();
+        let mut sent = 0u32;
+        let mut processed = 0u32;
+        let mut all_idle = true;
+        for r in st.reports.iter().flatten() {
+            sent += r.0;
+            processed += r.1;
+            all_idle &= r.2;
+        }
+        if all_idle && sent == processed && st.last_totals == Some((sent, processed)) {
+            return true;
+        }
+        st.last_totals = if all_idle && sent == processed {
+            Some((sent, processed))
+        } else {
+            None
+        };
+        false
+    }
+}
+
+impl Program for EnumApp {
+    fn main(&self, ctx: &mut UserCtx<'_>) {
+        let me = ctx.node();
+        let p = ctx.nodes();
+        if me == 0 {
+            self.nodes[0].lock().unwrap().queue.push_back(self.initial_board());
+        }
+        loop {
+            let work = {
+                let mut st = self.nodes[me].lock().unwrap();
+                if st.stopped {
+                    break;
+                }
+                let w = st.queue.pop_back(); // DFS: newest (deepest) first
+                st.expanding = w.is_some();
+                w
+            };
+            match work {
+                Some(board) => {
+                    self.expand(ctx, board);
+                    let mut st = self.nodes[me].lock().unwrap();
+                    st.expanding = false;
+                }
+                None => {
+                    let may_steal = {
+                        let mut st = self.nodes[me].lock().unwrap();
+                        if st.stopped {
+                            break;
+                        }
+                        if p > 1 && !st.steal_out {
+                            st.steal_out = true;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if may_steal {
+                        // Work stealing: ask a random victim for boards
+                        // from the shallow end of its queue.
+                        ctx.compute(300); // pacing backoff
+                        let victim = {
+                            let r = ctx.rng().range_u64(0, p as u64 - 1) as usize;
+                            if r >= me {
+                                r + 1
+                            } else {
+                                r
+                            }
+                        };
+                        ctx.send(victim, H_STEAL, &[me as u32]);
+                    }
+                    if me == 0 {
+                        if p == 1 || self.coordinator_round(ctx) {
+                            // Terminated: tell everyone.
+                            for n in 1..p {
+                                ctx.send(n, H_STOP, &[]);
+                            }
+                            break;
+                        }
+                        ctx.compute(5_000); // probe backoff
+                    } else {
+                        ctx.block(WAIT_WORK);
+                    }
+                }
+            }
+        }
+        // Solution aggregation: the infrequent synchronization.
+        if me == 0 {
+            let mine = self.nodes[0].lock().unwrap().solutions;
+            loop {
+                let mut st = self.nodes[0].lock().unwrap();
+                if st.soln_in == p - 1 {
+                    *self.result.lock().unwrap() = Some(st.soln_total + mine);
+                    st.soln_in = 0;
+                    break;
+                }
+                drop(st);
+                ctx.block(WAIT_WORK);
+            }
+        } else {
+            let mine = self.nodes[me].lock().unwrap().solutions;
+            ctx.send(0, H_SOLN, &[(mine >> 32) as u32, mine as u32]);
+        }
+    }
+
+    fn handler(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let me = ctx.node();
+        match env.handler.0 {
+            H_WORK => {
+                {
+                    let mut st = self.nodes[me].lock().unwrap();
+                    st.processed += 1;
+                    st.steal_out = false;
+                    st.queue.push_back(env.payload[0]);
+                }
+                ctx.compute(160); // queue insertion bookkeeping
+                ctx.wake(WAIT_WORK);
+            }
+            H_PROBE => {
+                let gen = env.payload[0];
+                let (sent, processed, idle) = {
+                    let st = self.nodes[me].lock().unwrap();
+                    (st.sent, st.processed, st.queue.is_empty() && !st.expanding)
+                };
+                ctx.send(0, H_REPORT, &[gen, sent, processed, idle as u32, me as u32]);
+            }
+            H_REPORT => {
+                let mut st = self.nodes[0].lock().unwrap();
+                if env.payload[0] == st.report_gen {
+                    let from = env.payload[4] as usize;
+                    st.reports[from] =
+                        Some((env.payload[1], env.payload[2], env.payload[3] != 0));
+                }
+            }
+            H_STOP => {
+                {
+                    let mut st = self.nodes[me].lock().unwrap();
+                    st.stopped = true;
+                }
+                ctx.wake(WAIT_WORK);
+            }
+            H_STEAL => {
+                let thief = env.payload[0] as usize;
+                let mut grants = Vec::new();
+                {
+                    let mut st = self.nodes[me].lock().unwrap();
+                    for _ in 0..self.params.steal_batch {
+                        // Leave the victim at least one board; take from
+                        // the front (shallowest = largest subtrees).
+                        if st.queue.len() > 1 {
+                            let b = st.queue.pop_front().expect("len checked");
+                            st.sent += 1;
+                            grants.push(b);
+                        }
+                    }
+                }
+                if grants.is_empty() {
+                    ctx.send(thief, H_NOWORK, &[]);
+                } else {
+                    for b in grants {
+                        ctx.send(thief, H_WORK, &[b]);
+                    }
+                }
+            }
+            H_NOWORK => {
+                {
+                    let mut st = self.nodes[me].lock().unwrap();
+                    st.steal_out = false;
+                }
+                ctx.wake(WAIT_WORK);
+            }
+            H_SOLN => {
+                {
+                    let mut st = self.nodes[0].lock().unwrap();
+                    st.soln_total += ((env.payload[0] as u64) << 32) | env.payload[1] as u64;
+                    st.soln_in += 1;
+                }
+                ctx.wake(WAIT_WORK);
+            }
+            other => panic!("enum: unexpected handler {other}"),
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Reusable dissemination barrier over UDM messages, for workloads that
+//! need phase synchronization alongside their own traffic (the CRL
+//! applications synchronize between computation phases exactly as their
+//! SPLASH originals do).
+
+use std::sync::Mutex;
+
+use udm::{Envelope, UserCtx};
+
+/// Handler word used by barrier tokens; applications must route it to
+/// [`MsgBarrier::handle`]. Payload: `[round]`.
+pub const H_BARRIER: u32 = 0x7B;
+
+struct NodeState {
+    arrived: Vec<u64>,
+    episodes: u64,
+}
+
+/// A reusable dissemination barrier across all nodes of a job.
+///
+/// `wait` may only be called from main threads, one episode at a time per
+/// node; tokens may arrive arbitrarily early (counts are cumulative).
+pub struct MsgBarrier {
+    nodes: Vec<Mutex<NodeState>>,
+    rounds: usize,
+}
+
+impl MsgBarrier {
+    /// Creates a barrier for `nodes` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes` is a power of two.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes.is_power_of_two(), "barrier requires power-of-two nodes");
+        let rounds = nodes.trailing_zeros() as usize;
+        MsgBarrier {
+            nodes: (0..nodes)
+                .map(|_| {
+                    Mutex::new(NodeState {
+                        arrived: vec![0; rounds.max(1)],
+                        episodes: 0,
+                    })
+                })
+                .collect(),
+            rounds,
+        }
+    }
+
+    fn key(round: usize) -> u32 {
+        0x7B00_0000 | round as u32
+    }
+
+    /// Blocks until every node has entered the same barrier episode.
+    pub fn wait(&self, ctx: &mut UserCtx<'_>) {
+        let me = ctx.node();
+        let p = ctx.nodes();
+        let episode = {
+            let mut st = self.nodes[me].lock().unwrap();
+            let e = st.episodes;
+            st.episodes += 1;
+            e
+        };
+        if p == 1 {
+            return;
+        }
+        for k in 0..self.rounds {
+            let peer = (me + (1 << k)) % p;
+            ctx.send(peer, H_BARRIER, &[k as u32]);
+            loop {
+                {
+                    let st = self.nodes[me].lock().unwrap();
+                    if st.arrived[k] > episode {
+                        break;
+                    }
+                }
+                ctx.block(Self::key(k));
+            }
+        }
+    }
+
+    /// Consumes a barrier token; returns `false` if `env` is not one.
+    pub fn handle(&self, ctx: &mut UserCtx<'_>, env: &Envelope) -> bool {
+        if env.handler.0 != H_BARRIER {
+            return false;
+        }
+        let round = env.payload[0] as usize;
+        {
+            let mut st = self.nodes[ctx.node()].lock().unwrap();
+            st.arrived[round] += 1;
+        }
+        ctx.wake(Self::key(round));
+        true
+    }
+}
+
+/// Bit-level f32 <-> u32 codecs for storing floating-point data in CRL
+/// regions (whose words are `u32`).
+pub mod f32bits {
+    /// Encodes a float slice into region words.
+    pub fn encode(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Decodes region words into floats.
+    pub fn decode(ws: &[u32]) -> Vec<f32> {
+        ws.iter().map(|&w| f32::from_bits(w)).collect()
+    }
+
+    /// Reads one float from region words.
+    pub fn get(ws: &[u32], i: usize) -> f32 {
+        f32::from_bits(ws[i])
+    }
+
+    /// Writes one float into region words.
+    pub fn set(ws: &mut [u32], i: usize, x: f32) {
+        ws[i] = x.to_bits();
+    }
+}

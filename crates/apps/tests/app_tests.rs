@@ -1,0 +1,384 @@
+//! Workload correctness tests, each run on the simulated FUGU machine.
+//!
+//! Key validation strategy: the CRL applications produce *bitwise
+//! identical* results regardless of node count (each node computes from a
+//! coherent snapshot), so we compare multi-node runs against 1-node runs;
+//! enum is compared against a host-side sequential enumeration.
+
+use fugu_apps::barrier::BarrierApp;
+use fugu_apps::enumerate::EnumApp;
+use fugu_apps::lu::LuApp;
+use fugu_apps::synth::SynthApp;
+use fugu_apps::{BarnesApp, BarnesParams, BarrierParams, EnumParams, LuParams, SynthParams,
+    WaterApp, WaterParams};
+use udm::{Machine, MachineConfig};
+
+fn machine(nodes: usize) -> Machine {
+    Machine::new(MachineConfig {
+        nodes,
+        ..Default::default()
+    })
+}
+
+// ----------------------------------------------------------------------
+// barrier
+// ----------------------------------------------------------------------
+
+#[test]
+fn barrier_completes_with_expected_message_count() {
+    let nodes = 8;
+    let barriers = 100;
+    let mut m = machine(nodes);
+    m.add_job(BarrierApp::spec(nodes, BarrierParams { barriers, work: 0 }));
+    let r = m.run();
+    let j = r.job("barrier");
+    // Dissemination: P * log2(P) messages per barrier.
+    assert_eq!(j.sent, nodes as u64 * 3 * barriers as u64);
+    assert_eq!(j.delivered(), j.sent);
+    assert_eq!(j.buffered_fraction(), 0.0, "standalone run must be all-fast");
+}
+
+#[test]
+fn barrier_single_node_degenerates() {
+    let mut m = machine(1);
+    m.add_job(BarrierApp::spec(1, BarrierParams { barriers: 10, work: 5 }));
+    let r = m.run();
+    assert_eq!(r.job("barrier").sent, 0);
+}
+
+// ----------------------------------------------------------------------
+// enum
+// ----------------------------------------------------------------------
+
+#[test]
+fn enum_counts_match_sequential_reference() {
+    let params = EnumParams {
+        side: 4,
+        empty: 1,
+        spray_depth: 2,
+        spray_percent: 25,
+        steal_batch: 2,
+        expand_cost: 100,
+    };
+    let reference = EnumApp::reference_count(params);
+    assert!(reference > 0, "side-4 puzzle must have solutions");
+    for nodes in [1, 4] {
+        let app = EnumApp::spec(nodes, params);
+        let mut m = machine(nodes);
+        m.add_job(EnumApp::job(&app));
+        let r = m.run();
+        assert_eq!(
+            app.solutions(),
+            Some(reference),
+            "wrong solution count on {nodes} node(s)"
+        );
+        if nodes > 1 {
+            let j = r.job("enum");
+            assert!(j.sent > 0, "multi-node enum must spray work messages");
+            // Steal-protocol chatter (a NOWORK reply racing the STOP
+            // broadcast) may be in flight when the job exits; everything
+            // else must be delivered.
+            assert!(j.sent - j.delivered() <= nodes as u64, "{} of {} undelivered", j.sent - j.delivered(), j.sent);
+        }
+    }
+}
+
+#[test]
+fn enum_is_deterministic_across_runs() {
+    let params = EnumParams {
+        side: 4,
+        empty: 1,
+        spray_depth: 2,
+        spray_percent: 25,
+        steal_batch: 2,
+        expand_cost: 100,
+    };
+    let run = || {
+        let app = EnumApp::spec(4, params);
+        let mut m = machine(4);
+        m.add_job(EnumApp::job(&app));
+        let r = m.run();
+        (r.end_time, r.job("enum").sent)
+    };
+    assert_eq!(run(), run());
+}
+
+// ----------------------------------------------------------------------
+// synth
+// ----------------------------------------------------------------------
+
+#[test]
+fn synth_all_groups_acknowledged() {
+    let nodes = 4;
+    let params = SynthParams {
+        group: 10,
+        groups: 5,
+        t_betw: 500,
+        handler_stall: 193,
+    };
+    let mut m = machine(nodes);
+    m.add_job(SynthApp::spec(nodes, params));
+    let r = m.run();
+    let j = r.job("synth");
+    let requests = nodes as u64 * 10 * 5;
+    assert_eq!(j.sent, 2 * requests, "every request must be answered");
+    assert_eq!(j.delivered(), j.sent);
+}
+
+// ----------------------------------------------------------------------
+// lu
+// ----------------------------------------------------------------------
+
+#[test]
+fn lu_factorization_is_accurate() {
+    let params = LuParams {
+        n: 32,
+        block: 8,
+        flop_cost: 2,
+    };
+    for nodes in [1, 4] {
+        let app = LuApp::spec(nodes, params);
+        let mut m = machine(nodes);
+        m.add_job(LuApp::job(&app));
+        m.run();
+        let res = app.residual().expect("node 0 validates");
+        assert!(
+            res < 1e-4,
+            "LU residual {res} too large on {nodes} node(s)"
+        );
+    }
+}
+
+#[test]
+fn lu_generates_request_reply_traffic() {
+    let params = LuParams {
+        n: 32,
+        block: 8,
+        flop_cost: 2,
+    };
+    let app = LuApp::spec(4, params);
+    let mut m = machine(4);
+    m.add_job(LuApp::job(&app));
+    let r = m.run();
+    let j = r.job("lu");
+    assert!(j.sent > 100, "blocked LU must exchange blocks: {}", j.sent);
+}
+
+// ----------------------------------------------------------------------
+// barnes / water: node-count independence
+// ----------------------------------------------------------------------
+
+#[test]
+fn barnes_checksum_is_node_count_independent() {
+    let params = BarnesParams {
+        bodies: 64,
+        iters: 2,
+        ..Default::default()
+    };
+    let mut sums = Vec::new();
+    for nodes in [1, 4] {
+        let app = BarnesApp::spec(nodes, params);
+        let mut m = machine(nodes);
+        m.add_job(BarnesApp::job(&app));
+        let r = m.run();
+        sums.push(app.checksum().expect("node 0 checksums"));
+        if nodes > 1 {
+            assert!(r.job("barnes").sent > 0);
+        }
+    }
+    assert_eq!(sums[0], sums[1], "results depend on node count");
+}
+
+#[test]
+fn water_checksum_is_node_count_independent() {
+    let params = WaterParams {
+        molecules: 32,
+        iters: 2,
+        ..Default::default()
+    };
+    let mut sums = Vec::new();
+    for nodes in [1, 4] {
+        let app = WaterApp::spec(nodes, params);
+        let mut m = machine(nodes);
+        m.add_job(WaterApp::job(&app));
+        m.run();
+        sums.push(app.checksum().expect("node 0 checksums"));
+    }
+    assert_eq!(sums[0], sums[1], "results depend on node count");
+}
+
+// ----------------------------------------------------------------------
+// multiprogrammed smoke: each app against null under skew
+// ----------------------------------------------------------------------
+
+#[test]
+fn apps_survive_skewed_multiprogramming() {
+    use fugu_apps::NullApp;
+    use udm::CostModel;
+
+    let nodes = 4;
+    let mk = || MachineConfig {
+        nodes,
+        skew: 0.2,
+        costs: CostModel {
+            timeslice: 50_000,
+            ..CostModel::hard_atomicity()
+        },
+        ..Default::default()
+    };
+
+    // barrier × null
+    let mut m = Machine::new(mk());
+    m.add_job(BarrierApp::spec(nodes, BarrierParams { barriers: 50, work: 0 }));
+    m.add_job(NullApp::spec());
+    let r = m.run();
+    assert_eq!(r.job("barrier").delivered(), r.job("barrier").sent);
+
+    // enum × null
+    let params = EnumParams {
+        side: 4,
+        empty: 1,
+        spray_depth: 2,
+        spray_percent: 25,
+        steal_batch: 2,
+        expand_cost: 100,
+    };
+    let app = EnumApp::spec(nodes, params);
+    let mut m = Machine::new(mk());
+    m.add_job(EnumApp::job(&app));
+    m.add_job(NullApp::spec());
+    m.run();
+    assert_eq!(app.solutions(), Some(EnumApp::reference_count(params)));
+
+    // lu × null
+    let app = LuApp::spec(
+        nodes,
+        LuParams {
+            n: 16,
+            block: 8,
+            flop_cost: 2,
+        },
+    );
+    let mut m = Machine::new(mk());
+    m.add_job(LuApp::job(&app));
+    m.add_job(NullApp::spec());
+    m.run();
+    assert!(app.residual().unwrap() < 1e-4);
+}
+
+#[test]
+fn barnes_and_water_survive_skewed_multiprogramming() {
+    use fugu_apps::NullApp;
+    use udm::CostModel;
+
+    let nodes = 4;
+    let mk = || MachineConfig {
+        nodes,
+        skew: 0.25,
+        costs: CostModel {
+            timeslice: 30_000,
+            context_switch: 150,
+            ..CostModel::hard_atomicity()
+        },
+        ..Default::default()
+    };
+
+    // Barnes: results must match the standalone checksum even when part of
+    // the coherence traffic takes the buffered path.
+    let params = BarnesParams {
+        bodies: 64,
+        iters: 2,
+        ..Default::default()
+    };
+    let reference = {
+        let app = BarnesApp::spec(1, params);
+        let mut m = machine(1);
+        m.add_job(BarnesApp::job(&app));
+        m.run();
+        app.checksum().unwrap()
+    };
+    let app = BarnesApp::spec(nodes, params);
+    let mut m = Machine::new(mk());
+    m.add_job(BarnesApp::job(&app));
+    m.add_job(NullApp::spec());
+    let r = m.run();
+    assert_eq!(app.checksum(), Some(reference), "buffering corrupted barnes");
+    assert_eq!(r.job("barnes").delivered(), r.job("barnes").sent);
+
+    // Water: same property.
+    let params = WaterParams {
+        molecules: 32,
+        iters: 2,
+        ..Default::default()
+    };
+    let reference = {
+        let app = WaterApp::spec(1, params);
+        let mut m = machine(1);
+        m.add_job(WaterApp::job(&app));
+        m.run();
+        app.checksum().unwrap()
+    };
+    let app = WaterApp::spec(nodes, params);
+    let mut m = Machine::new(mk());
+    m.add_job(WaterApp::job(&app));
+    m.add_job(NullApp::spec());
+    let r = m.run();
+    assert_eq!(app.checksum(), Some(reference), "buffering corrupted water");
+    assert_eq!(r.job("water").delivered(), r.job("water").sent);
+}
+
+#[test]
+fn synth_is_deterministic_and_seed_sensitive() {
+    let run = |seed: u64| {
+        let mut m = Machine::new(MachineConfig {
+            nodes: 4,
+            skew: 0.01,
+            seed,
+            ..Default::default()
+        });
+        m.add_job(SynthApp::spec(
+            4,
+            SynthParams {
+                group: 50,
+                groups: 4,
+                t_betw: 400,
+                handler_stall: 193,
+            },
+        ));
+        let r = m.run();
+        (r.end_time, r.job("synth").delivered_fast)
+    };
+    assert_eq!(run(7), run(7), "same seed must reproduce exactly");
+    assert_ne!(
+        run(7).0,
+        run(8).0,
+        "different seeds should shift the random send schedule"
+    );
+}
+
+#[test]
+fn work_stealing_rebalances_enum() {
+    // With stealing, no node should end up doing the lion's share of the
+    // expansions; check via rough balance of per-node handler activity.
+    let params = EnumParams {
+        side: 5,
+        empty: 0,
+        spray_depth: 4,
+        spray_percent: 4, // sparse spraying: stealing must do the balancing
+        steal_batch: 2,
+        expand_cost: 100,
+    };
+    let app = EnumApp::spec(4, params);
+    let mut m = machine(4);
+    m.add_job(EnumApp::job(&app));
+    let r = m.run();
+    assert_eq!(app.solutions(), Some(29_760));
+    // The run should finish in reasonable simulated time relative to the
+    // serial work (1.29M expansions x ~100 cycles / 4 nodes ≈ 33M): require
+    // at least ~55% parallel efficiency.
+    assert!(
+        r.end_time < 60_000_000,
+        "load imbalance: end_time {} suggests a serial tail",
+        r.end_time
+    );
+}

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of whole simulated-machine runs: how fast the host
+//! executes the reproduction's key scenarios. These double as regression
+//! guards for the experiment harnesses' run times.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fugu_apps::{BarrierApp, BarrierParams, NullApp, SynthApp, SynthParams};
+use udm::{CostModel, Envelope, JobSpec, Machine, MachineConfig, Program, UserCtx};
+
+/// 100 interrupt-delivered ping-pongs on two nodes.
+struct PingPong;
+impl Program for PingPong {
+    fn main(&self, ctx: &mut UserCtx<'_>) {
+        if ctx.node() == 0 {
+            ctx.begin_atomic();
+            for _ in 0..100 {
+                ctx.send(1, 0, &[]);
+                while !ctx.poll() {
+                    ctx.compute(10);
+                }
+            }
+            ctx.end_atomic();
+        } else {
+            ctx.begin_atomic();
+            for _ in 0..100 {
+                while !ctx.poll() {
+                    ctx.compute(10);
+                }
+            }
+            ctx.end_atomic();
+        }
+    }
+    fn handler(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        if ctx.node() == 1 {
+            ctx.send(env.src, 0, &[]);
+        }
+    }
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    c.bench_function("machine_pingpong_100", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig {
+                nodes: 2,
+                ..Default::default()
+            });
+            m.add_job(JobSpec::new("pp", Arc::new(PingPong)));
+            m.run().end_time
+        })
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("machine_barrier_50x4", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig {
+                nodes: 4,
+                ..Default::default()
+            });
+            m.add_job(BarrierApp::spec(4, BarrierParams { barriers: 50, work: 0 }));
+            m.run().end_time
+        })
+    });
+}
+
+fn bench_multiprogrammed_synth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_synth");
+    g.sample_size(10);
+    g.bench_function("synth10_vs_null_skewed", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig {
+                nodes: 4,
+                skew: 0.01,
+                costs: CostModel::hard_atomicity(),
+                ..Default::default()
+            });
+            m.add_job(SynthApp::spec(
+                4,
+                SynthParams {
+                    group: 10,
+                    groups: 5,
+                    t_betw: 500,
+                    handler_stall: 193,
+                },
+            ));
+            m.add_job(NullApp::spec());
+            m.run().end_time
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(machine, bench_pingpong, bench_barrier, bench_multiprogrammed_synth);
+criterion_main!(machine);

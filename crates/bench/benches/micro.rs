@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the substrate crates (host performance of
+//! the simulator itself, not simulated-cycle results — those come from the
+//! harness binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fugu_glaze::{FrameAllocator, VirtualBuffer};
+use fugu_net::{Gid, HandlerId, Message, Network, NetworkConfig};
+use fugu_nic::{Mode, Nic, NicConfig};
+use fugu_sim::event::EventQueue;
+use fugu_sim::rng::DetRng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(i * 7 % 997, black_box(i));
+            }
+            let mut sum = 0;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("det_rng_range_u64", |b| {
+        let mut rng = DetRng::new(42);
+        b.iter(|| black_box(rng.range_u64(0, 1_000_000)))
+    });
+}
+
+fn bench_nic(c: &mut Criterion) {
+    c.bench_function("nic_enqueue_dispose", |b| {
+        let mut nic = Nic::new(NicConfig::default());
+        nic.set_gid(Gid::new(1));
+        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![1, 2, 3, 4]);
+        b.iter(|| {
+            nic.enqueue(black_box(msg.clone())).unwrap();
+            black_box(nic.dispose(Mode::User).unwrap())
+        })
+    });
+    c.bench_function("nic_describe_launch", |b| {
+        let mut nic = Nic::new(NicConfig::default());
+        nic.set_gid(Gid::new(1));
+        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 8]);
+        b.iter(|| {
+            nic.describe(black_box(msg.clone()));
+            black_box(nic.launch(Mode::User).unwrap())
+        })
+    });
+}
+
+fn bench_vbuf(c: &mut Criterion) {
+    c.bench_function("vbuf_insert_pop", |b| {
+        let mut frames = FrameAllocator::new(1024);
+        let mut vb = VirtualBuffer::new(4096);
+        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 6]);
+        b.iter(|| {
+            vb.insert(black_box(msg.clone()), &mut frames).unwrap();
+            black_box(vb.pop(&mut frames))
+        })
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("network_inject_deliver", |b| {
+        let mut net = Network::new(NetworkConfig::main_network());
+        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 4]);
+        let mut t = 0;
+        b.iter(|| {
+            t += 100;
+            let at = net.inject(t, black_box(&msg));
+            net.deliver(1);
+            black_box(at)
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_event_queue,
+    bench_rng,
+    bench_nic,
+    bench_vbuf,
+    bench_network
+);
+criterion_main!(micro);

@@ -1,0 +1,187 @@
+//! Ablations of design choices called out in DESIGN.md §6:
+//!
+//! 1. **Atomicity-timeout value** — how aggressively the revocable
+//!    interrupt disable revokes. The paper calls this "a free parameter
+//!    that may be changed without affecting correctness"; this ablation
+//!    shows its performance effect on a polling application that
+//!    occasionally overruns.
+//! 2. **NIC input-queue depth** — FUGU argues a *small* hardware queue
+//!    suffices because the software buffer absorbs bursts; this measures
+//!    the sensitivity.
+//! 3. **Gang scheduling quality** — the overflow-control premise that a
+//!    well-behaved application recovers from buffering if gang scheduled:
+//!    compares perfectly aligned vs. heavily skewed schedules.
+
+use fugu_bench::{machine, pct, run_synth, Opts, Table};
+use fugu_apps::{NullApp, SynthApp, SynthParams};
+use udm::{CostModel, JobSpec, Machine, MachineConfig, NicConfig};
+
+fn main() {
+    let opts = Opts::parse(4);
+
+    // ------------------------------------------------------------------
+    println!("Ablation 1 — atomicity timeout vs buffering (synth-100, T_betw = 275)");
+    let mut t = Table::new(&["timeout (cycles)", "% buffered", "revocations"]);
+    for timeout in [1_000u64, 4_000, 8_192, 32_000, 128_000] {
+        let costs = CostModel {
+            atomicity_timeout: timeout,
+            ..CostModel::hard_atomicity()
+        };
+        let mut m = machine(opts.nodes, 0.01, opts.seed, costs);
+        m.add_job(SynthApp::spec(
+            opts.nodes,
+            SynthParams {
+                group: 100,
+                groups: if opts.quick { 5 } else { 20 },
+                t_betw: 275,
+                handler_stall: 193,
+            },
+        ));
+        m.add_job(NullApp::spec());
+        let r = m.run();
+        let j = r.job("synth");
+        t.row(vec![
+            timeout.to_string(),
+            pct(j.buffered_fraction()),
+            j.atomicity_timeouts.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ------------------------------------------------------------------
+    println!("Ablation 2 — NIC input queue depth (synth-1000 burst, T_betw = 100)");
+    let mut t = Table::new(&["queue (msgs)", "% buffered", "end time (Mcycles)"]);
+    for depth in [1usize, 2, 4, 8, 16] {
+        let mut m = Machine::new(MachineConfig {
+            nodes: opts.nodes,
+            skew: 0.01,
+            seed: opts.seed,
+            nic: NicConfig {
+                input_queue_msgs: depth,
+            },
+            ..Default::default()
+        });
+        m.add_job(SynthApp::spec(
+            opts.nodes,
+            SynthParams {
+                group: 1_000,
+                groups: if opts.quick { 2 } else { 4 },
+                t_betw: 100,
+                handler_stall: 193,
+            },
+        ));
+        m.add_job(NullApp::spec());
+        let r = m.run();
+        let j = r.job("synth");
+        t.row(vec![
+            depth.to_string(),
+            pct(j.buffered_fraction()),
+            format!("{:.2}", r.end_time as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ------------------------------------------------------------------
+    println!("Ablation 3 — schedule quality as recovery mechanism (synth-1000)");
+    let mut t = Table::new(&["skew", "% buffered", "peak pages/node"]);
+    for skew_pct in [0u32, 1, 5, 20, 40] {
+        let o = Opts {
+            quick: opts.quick,
+            ..opts
+        };
+        let r = run_synth_with_skew(1_000, 275, skew_pct as f64 / 100.0, o);
+        let j = r.job("synth");
+        t.row(vec![
+            format!("{skew_pct}%"),
+            pct(j.buffered_fraction()),
+            r.peak_buffer_pages().to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ------------------------------------------------------------------
+    println!("Ablation 4 — revocation (paper) vs polling watchdog (§2 alternative)");
+    println!("(sluggish poller: polls every 20k cycles, timeout 8192)");
+    let mut t = Table::new(&["policy", "% buffered", "revocations", "watchdog fires", "end (Mcycles)"]);
+    for watchdog in [false, true] {
+        let mut m = Machine::new(MachineConfig {
+            nodes: 2,
+            polling_watchdog: watchdog,
+            seed: opts.seed,
+            ..Default::default()
+        });
+        m.add_job(JobSpec::new(
+            "sluggish",
+            std::sync::Arc::new(SluggishPoller::new(if opts.quick { 50 } else { 400 }))
+                as std::sync::Arc<dyn udm::Program>,
+        ));
+        let r = m.run();
+        let j = r.job("sluggish");
+        t.row(vec![
+            if watchdog { "watchdog" } else { "revoke-to-buffered" }.into(),
+            pct(j.buffered_fraction()),
+            j.atomicity_timeouts.to_string(),
+            j.watchdog_fires.to_string(),
+            format!("{:.2}", r.end_time as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    let _ = run_synth; // shared helper used by fig9/fig10
+}
+
+/// Node 1 holds atomicity and polls only every 20k cycles — far past the
+/// 8192-cycle timeout — while node 0 streams messages at it. Receipt is
+/// counted in the handler so the program terminates under either timer
+/// policy (forced watchdog interrupts consume messages outside `poll`).
+struct SluggishPoller {
+    count: u32,
+    received: std::sync::Mutex<u32>,
+}
+
+impl SluggishPoller {
+    fn new(count: u32) -> Self {
+        SluggishPoller {
+            count,
+            received: std::sync::Mutex::new(0),
+        }
+    }
+}
+
+impl udm::Program for SluggishPoller {
+    fn main(&self, ctx: &mut udm::UserCtx<'_>) {
+        if ctx.node() == 0 {
+            for _ in 0..self.count {
+                ctx.send(1, 0, &[]);
+                ctx.compute(5_000);
+            }
+        } else {
+            ctx.begin_atomic();
+            while *self.received.lock().unwrap() < self.count {
+                ctx.compute(20_000); // sluggish
+                while ctx.poll() {}
+            }
+            ctx.end_atomic();
+        }
+    }
+    fn handler(&self, _ctx: &mut udm::UserCtx<'_>, _env: &udm::Envelope) {
+        *self.received.lock().unwrap() += 1;
+    }
+}
+
+fn run_synth_with_skew(group: u32, t_betw: u64, skew: f64, opts: Opts) -> udm::RunReport {
+    let mut m = machine(opts.nodes, skew, opts.seed, CostModel::hard_atomicity());
+    m.add_job(SynthApp::spec(
+        opts.nodes,
+        SynthParams {
+            group,
+            groups: if opts.quick { 2 } else { 6 },
+            t_betw,
+            handler_stall: 193,
+        },
+    ));
+    m.add_job(NullApp::spec());
+    m.run()
+}

@@ -1,0 +1,48 @@
+//! Figure 10: percentage of messages buffered versus the cost of the
+//! buffered path, with the send interval held at T_betw = 275 cycles
+//! (synth-N, four nodes, 1% skew). The buffered path is inflated by adding
+//! artificial latency to the buffer-insert handler, exactly as in the
+//! paper's experiment.
+//!
+//! Expected shape (paper): synth-10 stays low regardless (its internal
+//! synchronization balances send and receive rates); synth-100 and
+//! synth-1000 buffer moderately while the buffered path stays cheap and
+//! collapse into heavy buffering once its cost exceeds the send interval.
+
+use fugu_bench::{pct, run_synth, Opts, Table};
+
+fn main() {
+    let opts = Opts::parse(4);
+    let extras: Vec<u64> = if opts.quick {
+        vec![0, 400, 1_600]
+    } else {
+        vec![0, 100, 200, 400, 800, 1_600, 3_200]
+    };
+    let groups = [10u32, 100, 1_000];
+    let t_betw = 275;
+
+    println!(
+        "Figure 10 — % messages buffered vs added buffered-path cost (synth-N, {} nodes, T_betw = {t_betw}, 1% skew)",
+        opts.nodes
+    );
+    println!();
+
+    let mut headers: Vec<String> = vec!["added cost".into()];
+    headers.extend(groups.iter().map(|g| format!("synth-{g}")));
+    let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    for &extra in &extras {
+        let mut row = vec![extra.to_string()];
+        for &g in &groups {
+            let mut frac = 0.0;
+            for trial in 0..opts.trials {
+                let r = run_synth(g, t_betw, extra, opts, trial);
+                frac += r.job("synth").buffered_fraction();
+            }
+            row.push(pct(frac / opts.trials as f64));
+        }
+        t.row(row);
+        eprintln!("  [added cost = {extra} done]");
+    }
+    t.print();
+}

@@ -1,0 +1,49 @@
+//! Figure 8: relative runtimes of applications multiprogrammed with a null
+//! application versus decreasing schedule quality, normalized to the
+//! zero-skew multiprogrammed runtime (which the paper reports to be within
+//! 1% of 2× the standalone runtime).
+//!
+//! Expected shape (paper): barrier's slowdown is almost exactly the inverse
+//! of the skew; enum is nearly insensitive (it tolerates latency, paying
+//! only buffering overhead); the CRL applications fall in between.
+
+use fugu_bench::{run_standalone, run_vs_null, skew_points, AppKind, Opts, Table};
+
+fn main() {
+    let opts = Opts::parse(8);
+    let skews = skew_points(opts.quick);
+
+    println!("Figure 8 — relative runtime vs schedule skew (app × null, {} nodes)", opts.nodes);
+    println!("(normalized to the zero-skew multiprogrammed runtime)");
+    println!();
+
+    let mut headers: Vec<String> = vec!["app".into()];
+    headers.extend(skews.iter().map(|s| format!("skew {:.0}%", 100.0 * s)));
+    headers.push("2x standalone check".into());
+    let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    for kind in AppKind::ALL {
+        let standalone = run_standalone(kind, opts, 0)
+            .job(kind.name())
+            .completion
+            .expect("completes") as f64;
+        let mut base = 0.0;
+        let mut row = vec![kind.name().to_string()];
+        for (i, &skew) in skews.iter().enumerate() {
+            let mut completion = 0.0;
+            for trial in 0..opts.trials {
+                let r = run_vs_null(kind, skew, opts, trial);
+                completion += r.job(kind.name()).completion.expect("completes") as f64;
+            }
+            completion /= opts.trials as f64;
+            if i == 0 {
+                base = completion;
+            }
+            row.push(format!("{:.2}x", completion / base));
+        }
+        row.push(format!("{:.2}x standalone", base / standalone));
+        t.row(row);
+        eprintln!("  [{} done]", kind.name());
+    }
+    t.print();
+}

@@ -1,0 +1,45 @@
+//! Figure 9: percentage of messages buffered versus send interval, with N
+//! messages (synth-N) sent per synchronization point, at 1% scheduler skew
+//! on four nodes.
+//!
+//! Expected shape (paper): all variants buffer little once
+//! `T_betw > T_hand + buffering overhead`; below that, the unsynchronized
+//! variants (large N) buffer heavily, while frequent synchronization
+//! (small N) "manually" clears the buffer and keeps the fraction small.
+
+use fugu_bench::{pct, run_synth, Opts, Table};
+
+fn main() {
+    let opts = Opts::parse(4);
+    let t_betws: Vec<u64> = if opts.quick {
+        vec![100, 400, 1_000]
+    } else {
+        vec![50, 100, 200, 275, 400, 600, 1_000, 2_000]
+    };
+    let groups = [10u32, 100, 1_000];
+
+    println!(
+        "Figure 9 — % messages buffered vs send interval (synth-N, {} nodes, 1% skew, T_hand ≈ 290)",
+        opts.nodes
+    );
+    println!();
+
+    let mut headers: Vec<String> = vec!["T_betw".into()];
+    headers.extend(groups.iter().map(|g| format!("synth-{g}")));
+    let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    for &tb in &t_betws {
+        let mut row = vec![tb.to_string()];
+        for &g in &groups {
+            let mut frac = 0.0;
+            for trial in 0..opts.trials {
+                let r = run_synth(g, tb, 0, opts, trial);
+                frac += r.job("synth").buffered_fraction();
+            }
+            row.push(pct(frac / opts.trials as f64));
+        }
+        t.row(row);
+        eprintln!("  [T_betw = {tb} done]");
+    }
+    t.print();
+}

@@ -1,0 +1,57 @@
+//! Table 6: application characteristics, standalone on eight nodes —
+//! runtime cycles, total messages, mean cycles between communication
+//! events (`T_betw = cycles × P / messages`) and mean cycles per handler
+//! (`T_hand`). Paper values are printed alongside for shape comparison;
+//! data sets are scaled down (see EXPERIMENTS.md), so absolute cycle and
+//! message counts are smaller while the per-application ordering and the
+//! `T_betw`/`T_hand` regimes should match.
+
+use fugu_bench::{run_standalone, AppKind, Opts, Table};
+
+fn main() {
+    let opts = Opts::parse(8);
+
+    println!("Table 6 — application characteristics (standalone, {} nodes)", opts.nodes);
+    println!();
+
+    let mut t = Table::new(&[
+        "app",
+        "cycles",
+        "msgs",
+        "T_betw",
+        "T_hand",
+        "paper cycles",
+        "paper msgs",
+        "paper T_betw",
+        "paper T_hand",
+    ]);
+    for kind in AppKind::ALL {
+        let mut cycles = 0.0;
+        let mut msgs = 0.0;
+        let mut t_hand = 0.0;
+        for trial in 0..opts.trials {
+            let r = run_standalone(kind, opts, trial);
+            let j = r.job(kind.name());
+            cycles += j.completion.expect("foreground job completes") as f64;
+            msgs += j.sent as f64;
+            t_hand += j.handler_cycles.mean();
+        }
+        cycles /= opts.trials as f64;
+        msgs /= opts.trials as f64;
+        t_hand /= opts.trials as f64;
+        let t_betw = cycles * opts.nodes as f64 / msgs.max(1.0);
+        let (pc, pm, pb, ph) = kind.paper_row();
+        t.row(vec![
+            kind.name().into(),
+            format!("{:.1}M", cycles / 1e6),
+            format!("{:.0}", msgs),
+            format!("{:.0}", t_betw),
+            format!("{:.0}", t_hand),
+            format!("{:.1}M", pc / 1e6),
+            pm.to_string(),
+            format!("{pb:.0}"),
+            format!("{ph:.0}"),
+        ]);
+    }
+    t.print();
+}

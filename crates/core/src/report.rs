@@ -1,0 +1,104 @@
+//! Run reports: the measurements the paper's tables and figures are built
+//! from.
+
+use fugu_sim::stats::Accum;
+use fugu_sim::Cycles;
+
+/// Everything measured during one [`Machine::run`](crate::Machine::run).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated time when the run ended (all foreground mains returned).
+    pub end_time: Cycles,
+    /// Per-job measurements, in job-submission order.
+    pub jobs: Vec<JobReport>,
+    /// Per-node measurements.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl RunReport {
+    /// Finds a job report by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job has that name.
+    pub fn job(&self, name: &str) -> &JobReport {
+        self.jobs
+            .iter()
+            .find(|j| j.name == name)
+            .unwrap_or_else(|| panic!("no job named {name:?} in report"))
+    }
+
+    /// Highest number of physical page frames simultaneously devoted to
+    /// virtual buffering on any node (the paper's "<7 pages/node" claim).
+    pub fn peak_buffer_pages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.peak_frames).max().unwrap_or(0)
+    }
+}
+
+/// Measurements for one job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's display name.
+    pub name: String,
+    /// When the last of the job's per-node mains returned; `None` for
+    /// background jobs (or if the run ended first).
+    pub completion: Option<Cycles>,
+    /// Messages sent by the job.
+    pub sent: u64,
+    /// Messages delivered on the fast path (directly from the network
+    /// interface, via interrupt or poll).
+    pub delivered_fast: u64,
+    /// Messages that traversed the buffered path (inserted into the
+    /// software buffer by the OS) — the numerator of Figures 7, 9 and 10.
+    pub delivered_buffered: u64,
+    /// Of the buffered messages, how many had to be paged to backing
+    /// store over the second network.
+    pub swapped: u64,
+    /// Handler execution cycles (dispatch to completion, including
+    /// delivery overhead), for the paper's `T_hand`.
+    pub handler_cycles: Accum,
+    /// Atomicity-timeout revocations suffered by the job.
+    pub atomicity_timeouts: u64,
+    /// Interrupts forced through by the polling watchdog (only nonzero
+    /// when the machine runs with `polling_watchdog: true`).
+    pub watchdog_fires: u64,
+    /// Demand-zero page faults taken by the job.
+    pub page_faults: u64,
+    /// Times overflow control globally suspended the job.
+    pub overflow_suspensions: u64,
+}
+
+impl JobReport {
+    /// Total messages that reached a handler path.
+    pub fn delivered(&self) -> u64 {
+        self.delivered_fast + self.delivered_buffered
+    }
+
+    /// Fraction of messages that traversed the buffered path — the y-axis
+    /// of Figures 7, 9 and 10.
+    pub fn buffered_fraction(&self) -> f64 {
+        let total = self.delivered();
+        if total == 0 {
+            0.0
+        } else {
+            self.delivered_buffered as f64 / total as f64
+        }
+    }
+}
+
+/// Measurements for one node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Peak physical page frames simultaneously backing virtual buffers.
+    pub peak_frames: u64,
+    /// Buffer-insert handlers run (mismatch-available interrupts serviced).
+    pub vbuf_inserts: u64,
+    /// How many of those inserts demand-allocated a fresh page.
+    pub vmallocs: u64,
+    /// Gang-scheduler quantum switches performed.
+    pub quantum_switches: u64,
+    /// Overflow-control gang-scheduling advisories raised.
+    pub overflow_advises: u64,
+    /// Overflow-control global suspensions ordered.
+    pub overflow_suspends: u64,
+}

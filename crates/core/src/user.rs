@@ -1,0 +1,373 @@
+//! The user-level UDM API: what simulated application code sees.
+//!
+//! §3 of the paper defines UDM as (1) messages with `inject`/`extract`
+//! operations and (2) an explicit atomicity mechanism. [`UserCtx`] is that
+//! interface. Application code is an implementation of [`Program`]: a
+//! `main` entry point per node plus an Active-Messages-style `handler`
+//! invoked for every incoming message, either via simulated user-level
+//! interrupt or from a polling loop.
+//!
+//! Crucially — and this is the paper's *transparent access* principle
+//! (§4.3) — nothing in this API reveals whether a message was delivered
+//! from the network-interface hardware (fast case) or replayed from the
+//! software buffer in virtual memory (buffered case). The machine switches
+//! between the two cases freely; user code cannot tell, except by timing.
+
+use std::sync::Arc;
+
+use fugu_net::{HandlerId, NodeId};
+use fugu_sim::coro::CoCtx;
+use fugu_sim::rng::DetRng;
+use fugu_sim::Cycles;
+
+/// A received message as presented to a handler: source node, handler word
+/// and payload. The routing header and GID have been consumed by the
+/// delivery path (hardware demultiplexing or the software buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// The handler word the sender named.
+    pub handler: HandlerId,
+    /// Payload words.
+    pub payload: Vec<u32>,
+}
+
+/// Requests a sim-thread can make of the machine. Application code never
+/// sees this type directly — [`UserCtx`] wraps it — but it is public so the
+/// machine and tests can speak the same protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimCall {
+    /// Consume `0` CPU cycles of computation (preemptible by interrupts).
+    Compute(Cycles),
+    /// Blocking `inject`: describe + launch a message.
+    Send {
+        /// Destination node.
+        dst: NodeId,
+        /// Handler word.
+        handler: HandlerId,
+        /// Payload words (at most 14).
+        payload: Vec<u32>,
+    },
+    /// Conditional `injectc`: like `Send` but reports acceptance instead of
+    /// blocking.
+    TrySend {
+        /// Destination node.
+        dst: NodeId,
+        /// Handler word.
+        handler: HandlerId,
+        /// Payload words (at most 14).
+        payload: Vec<u32>,
+    },
+    /// Poll the message-available flag; if a message is pending, run its
+    /// handler (on the handler context) and report `true`.
+    PollDispatch,
+    /// Poll and extract the pending message raw, without dispatching.
+    PollExtract,
+    /// Examine the pending message without consuming it (§3's `peek`).
+    Peek,
+    /// Touch a page of the process's demand-zero heap; may page-fault.
+    TouchPage(u32),
+    /// Enter an atomic section (disable message interrupts).
+    BeginAtomic,
+    /// Leave an atomic section.
+    EndAtomic,
+    /// Deschedule this thread until [`SimCall::Wake`] on the same key.
+    Block(u32),
+    /// Wake the main thread if blocked on the key (otherwise bank a permit).
+    Wake(u32),
+    /// Read the current simulated time.
+    Now,
+    /// Handler context only: report completion of the previous handler and
+    /// wait for the next dispatch.
+    AwaitUpcall,
+}
+
+/// Responses paired with [`SimCall`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimResp {
+    /// Generic acknowledgement.
+    Ok,
+    /// Boolean result (`TrySend`, `PollDispatch`).
+    Bool(bool),
+    /// Current simulated time.
+    Time(Cycles),
+    /// Extracted message, if any.
+    Extract(Option<Envelope>),
+    /// A message dispatched to the handler context.
+    Upcall(Envelope),
+}
+
+/// A simulated parallel program: one gang of processes, one per node.
+///
+/// A single `Program` value is shared by every node of the job and by both
+/// execution contexts (main thread and handler) on each node, so per-node
+/// mutable state lives behind interior mutability — conventionally a
+/// `Vec<Mutex<State>>` indexed by [`UserCtx::node`]. Within one node the
+/// machine never runs the main thread and the handler concurrently, so
+/// those locks are never contended.
+pub trait Program: Send + Sync + 'static {
+    /// Per-node entry point. The job completes when `main` has returned on
+    /// every node.
+    fn main(&self, ctx: &mut UserCtx<'_>);
+
+    /// Message handler, invoked with interrupts disabled (an atomic
+    /// section), either by a *message-available* user interrupt, by a
+    /// polling loop, or — transparently — from the software buffer in
+    /// buffered mode.
+    ///
+    /// The default implementation panics: programs that receive messages
+    /// must override it.
+    fn handler(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let _ = ctx;
+        panic!("program received message {:?} but defines no handler", env.handler);
+    }
+}
+
+/// Which execution context a [`UserCtx`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtxKind {
+    /// The per-node main thread.
+    Main,
+    /// The handler (upcall) context.
+    Handler,
+}
+
+/// Handle through which simulated code acts on the machine.
+///
+/// All methods charge simulated cycles according to the machine's
+/// [`CostModel`](fugu_glaze::CostModel); see each method for which Table 4/5
+/// entry applies.
+pub struct UserCtx<'a> {
+    co: &'a mut CoCtx<SimCall, SimResp>,
+    node: NodeId,
+    nodes: usize,
+    job: usize,
+    kind: CtxKind,
+    rng: DetRng,
+}
+
+impl std::fmt::Debug for UserCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserCtx")
+            .field("node", &self.node)
+            .field("nodes", &self.nodes)
+            .field("job", &self.job)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+impl<'a> UserCtx<'a> {
+    /// Used by the machine when spawning program threads. Not part of the
+    /// stable user API.
+    #[doc(hidden)]
+    pub fn new(
+        co: &'a mut CoCtx<SimCall, SimResp>,
+        node: NodeId,
+        nodes: usize,
+        job: usize,
+        kind: CtxKind,
+        seed: u64,
+    ) -> Self {
+        UserCtx {
+            co,
+            node,
+            nodes,
+            job,
+            kind,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// This process's node index.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Index of this job in the machine's job table.
+    pub fn job(&self) -> usize {
+        self.job
+    }
+
+    /// Which context this is (main thread or handler).
+    pub fn kind(&self) -> CtxKind {
+        self.kind
+    }
+
+    /// A deterministic per-context random-number generator.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&mut self) -> Cycles {
+        match self.co.call(SimCall::Now) {
+            SimResp::Time(t) => t,
+            other => unreachable!("bad response to Now: {other:?}"),
+        }
+    }
+
+    /// Performs `cycles` of local computation. Preemptible: interrupts,
+    /// kernel buffer-insert handlers and quantum switches may interleave.
+    pub fn compute(&mut self, cycles: Cycles) {
+        if cycles == 0 {
+            return;
+        }
+        match self.co.call(SimCall::Compute(cycles)) {
+            SimResp::Ok => {}
+            other => unreachable!("bad response to Compute: {other:?}"),
+        }
+    }
+
+    /// `inject`: sends a message (Table 4: 7 cycles + 3 per payload word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds 14 words (the 16-word send buffer) or
+    /// `dst` is not a valid node.
+    pub fn send(&mut self, dst: NodeId, handler: u32, payload: &[u32]) {
+        match self.co.call(SimCall::Send {
+            dst,
+            handler: HandlerId(handler),
+            payload: payload.to_vec(),
+        }) {
+            SimResp::Ok => {}
+            other => unreachable!("bad response to Send: {other:?}"),
+        }
+    }
+
+    /// `injectc`: conditional send; returns `false` if the network refused
+    /// the message (never blocks).
+    pub fn try_send(&mut self, dst: NodeId, handler: u32, payload: &[u32]) -> bool {
+        match self.co.call(SimCall::TrySend {
+            dst,
+            handler: HandlerId(handler),
+            payload: payload.to_vec(),
+        }) {
+            SimResp::Bool(b) => b,
+            other => unreachable!("bad response to TrySend: {other:?}"),
+        }
+    }
+
+    /// Polls for a message and, if one is pending, runs its handler to
+    /// completion; returns whether a message was handled (Table 4: 9 cycles
+    /// for a null message in the fast case; Table 5 costs when the process
+    /// is in buffered mode — transparently).
+    ///
+    /// Per the UDM model (§3), polling-style reception is meaningful inside
+    /// an atomic section: call [`UserCtx::begin_atomic`] first, or arriving
+    /// messages will be delivered by interrupt (upcall) between polls and
+    /// this method will keep returning `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from the handler context (the handler context
+    /// cannot dispatch to itself; use [`UserCtx::poll_extract`] there).
+    pub fn poll(&mut self) -> bool {
+        assert_eq!(
+            self.kind,
+            CtxKind::Main,
+            "poll() dispatches to the handler context; handlers must use poll_extract()"
+        );
+        match self.co.call(SimCall::PollDispatch) {
+            SimResp::Bool(b) => b,
+            other => unreachable!("bad response to PollDispatch: {other:?}"),
+        }
+    }
+
+    /// Polls for a message and extracts it raw, without running a handler.
+    /// This is the `extract` operation for programs that orchestrate their
+    /// own receive loops; also the only receive primitive legal inside a
+    /// handler (for draining bursts).
+    pub fn poll_extract(&mut self) -> Option<Envelope> {
+        match self.co.call(SimCall::PollExtract) {
+            SimResp::Extract(e) => e,
+            other => unreachable!("bad response to PollExtract: {other:?}"),
+        }
+    }
+
+    /// `peek` (§3): examines the next pending message without dequeuing it.
+    /// Like every receive primitive this is transparent — in buffered mode
+    /// it peeks the software buffer instead of the hardware queue.
+    pub fn peek(&mut self) -> Option<Envelope> {
+        match self.co.call(SimCall::Peek) {
+            SimResp::Extract(e) => e,
+            other => unreachable!("bad response to Peek: {other:?}"),
+        }
+    }
+
+    /// Touches page `page` of this process's demand-zero heap (Glaze
+    /// "supports faults to pages that are allocated and zero-filled on
+    /// demand", §5). The first touch of a page takes a page fault; a fault
+    /// inside a message handler switches the process to buffered mode so
+    /// the network is not blocked while the fault is serviced (§4.3's
+    /// first mode-transition cause).
+    pub fn touch_page(&mut self, page: u32) {
+        match self.co.call(SimCall::TouchPage(page)) {
+            SimResp::Ok => {}
+            other => unreachable!("bad response to TouchPage: {other:?}"),
+        }
+    }
+
+    /// Enters an atomic section: message interrupts are deferred; the
+    /// process must poll to observe messages. Subject to revocation — hold
+    /// atomicity too long with a message waiting and the OS switches the
+    /// process to buffered mode (§4.1 "Revocable Interrupt Disable").
+    pub fn begin_atomic(&mut self) {
+        match self.co.call(SimCall::BeginAtomic) {
+            SimResp::Ok => {}
+            other => unreachable!("bad response to BeginAtomic: {other:?}"),
+        }
+    }
+
+    /// Leaves an atomic section; deferred messages are then delivered.
+    pub fn end_atomic(&mut self) {
+        match self.co.call(SimCall::EndAtomic) {
+            SimResp::Ok => {}
+            other => unreachable!("bad response to EndAtomic: {other:?}"),
+        }
+    }
+
+    /// Blocks the main thread until a handler calls [`UserCtx::wake`] with
+    /// the same key. Wakes are counted, so a wake that arrives first is not
+    /// lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from a handler (handlers run in atomic sections
+    /// and must not block, per the UDM model).
+    pub fn block(&mut self, key: u32) {
+        assert_eq!(self.kind, CtxKind::Main, "handlers must not block");
+        match self.co.call(SimCall::Block(key)) {
+            SimResp::Ok => {}
+            other => unreachable!("bad response to Block: {other:?}"),
+        }
+    }
+
+    /// Wakes the main thread blocked on `key` (or banks a permit).
+    pub fn wake(&mut self, key: u32) {
+        match self.co.call(SimCall::Wake(key)) {
+            SimResp::Ok => {}
+            other => unreachable!("bad response to Wake: {other:?}"),
+        }
+    }
+
+    /// Handler context's dispatch loop; used by the machine's handler-thread
+    /// shim. Not part of the stable user API.
+    #[doc(hidden)]
+    pub fn await_upcall(&mut self) -> Envelope {
+        match self.co.call(SimCall::AwaitUpcall) {
+            SimResp::Upcall(e) => e,
+            other => unreachable!("bad response to AwaitUpcall: {other:?}"),
+        }
+    }
+}
+
+/// Convenience alias used throughout the workload crates.
+pub type SharedProgram = Arc<dyn Program>;

@@ -1,0 +1,792 @@
+//! CRL-like all-software distributed shared memory on top of UDM.
+//!
+//! The paper's three SPLASH applications (Barnes, Water, LU) run on **CRL**
+//! — the C Region Library of Johnson, Kaashoek and Wallach (SOSP '95) — an
+//! all-software region-based DSM whose coherence protocol is implemented
+//! entirely with short request/reply messages plus larger data messages.
+//! §5.1 notes that this load "is representative of coherence protocols such
+//! as Stache and can be considered operating-system-like: many low-latency
+//! request-reply packets mixed with fewer larger data packets."
+//!
+//! This crate reimplements that substrate: fixed-home regions with an
+//! MSI-style directory protocol (read/write requests, invalidations,
+//! recalls, chunked data transfers), built purely on [`udm`] messages and
+//! handlers — which means the protocol transparently benefits from
+//! two-case delivery exactly as in the paper.
+//!
+//! # Programming model
+//!
+//! A [`Crl`] instance is shared by all nodes of a job. All nodes call
+//! [`Crl::create`] collectively for each region during initialization
+//! (SPMD style), then bracket accesses with [`Crl::start_read`] /
+//! [`Crl::end_read`] and [`Crl::start_write`] / [`Crl::end_write`] from
+//! their main threads. The application's message handler must forward
+//! unrecognized messages to [`Crl::handle`]:
+//!
+//! ```ignore
+//! fn handler(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+//!     if self.crl.handle(ctx, env) {
+//!         return; // a coherence-protocol message
+//!     }
+//!     // ... application messages ...
+//! }
+//! ```
+//!
+//! Regions are held briefly; while a region is held, incoming
+//! invalidations and recalls are *deferred* until the matching `end_*`
+//! (as in real CRL), so data is never torn mid-access.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Mutex;
+
+use udm::{Cycles, Envelope, NodeId, UserCtx};
+
+/// Region identifier chosen by the application.
+pub type Rid = u32;
+
+/// Handler-word values used by the protocol. Applications sharing a job
+/// with a [`Crl`] must not use handler ids in `0xC0..=0xC5`.
+pub mod handlers {
+    /// Read or write request to the home node. Payload `[rid, write]`.
+    pub const REQ: u32 = 0xC0;
+    /// Data grant chunk to a requester. Payload `[rid, write, offset, total, data...]`.
+    pub const DATA: u32 = 0xC1;
+    /// Invalidate a shared copy. Payload `[rid]`.
+    pub const INV: u32 = 0xC2;
+    /// Invalidation acknowledgement. Payload `[rid, sharer]`.
+    pub const INV_ACK: u32 = 0xC3;
+    /// Recall an exclusive copy. Payload `[rid, full]` (`full=0` downgrades
+    /// to shared for a read, `full=1` invalidates for a write).
+    pub const RECALL: u32 = 0xC4;
+    /// Flush chunk from a recalled owner back to home. Payload
+    /// `[rid, full, offset, total, data...]`.
+    pub const FLUSH: u32 = 0xC5;
+}
+
+/// Data words carried per chunk message: 14-word payload budget minus the
+/// 4-word chunk header.
+const CHUNK_WORDS: usize = 10;
+
+/// Software costs of the region library itself, charged on top of the
+/// machine's messaging costs. Approximate the CRL paper's "all-software"
+/// overheads; see DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrlCosts {
+    /// A `start_*` that hits in the local cache state.
+    pub hit: Cycles,
+    /// Software overhead of a `start_*` miss (request construction,
+    /// continuation bookkeeping), excluding messaging.
+    pub miss: Cycles,
+    /// Protocol processing per handler invocation at home or owner.
+    pub protocol: Cycles,
+    /// An `end_*` with no deferred work.
+    pub end: Cycles,
+}
+
+impl Default for CrlCosts {
+    fn default() -> Self {
+        CrlCosts {
+            hit: 20,
+            miss: 80,
+            protocol: 90,
+            end: 12,
+        }
+    }
+}
+
+/// Local (cached) state of a region on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LState {
+    Invalid,
+    Shared,
+    Exclusive,
+}
+
+/// How the local main thread currently holds a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hold {
+    Read,
+    Write,
+}
+
+/// Coherence action deferred because the region was held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Deferred {
+    /// Invalidate (reply `INV_ACK` to home).
+    Inv,
+    /// Recall: flush to home; `full` invalidates, otherwise downgrade.
+    Recall { full: bool },
+}
+
+#[derive(Debug)]
+struct RegionLocal {
+    state: LState,
+    data: Vec<u32>,
+    len: usize,
+    hold: Option<Hold>,
+    /// The main thread is between requesting this region and acquiring it.
+    /// Coherence actions are deferred during this window too, so a fresh
+    /// grant cannot be snatched back before it is ever observed (which
+    /// could otherwise livelock two contending writers).
+    wanted: bool,
+    deferred: Option<Deferred>,
+    /// Fill count while a grant is being received.
+    filling: usize,
+}
+
+/// A queued request at the home directory.
+#[derive(Debug, Clone, Copy)]
+struct DirReq {
+    node: NodeId,
+    write: bool,
+}
+
+/// What the directory is waiting for before it can serve the queue head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirBusy {
+    Idle,
+    /// Waiting for a recalled owner's flush (`fill` words received so far).
+    AwaitFlush { fill: usize },
+    /// Waiting for invalidation acknowledgements.
+    AwaitAcks { left: usize },
+}
+
+#[derive(Debug)]
+struct Dir {
+    master: Vec<u32>,
+    sharers: BTreeSet<NodeId>,
+    owner: Option<NodeId>,
+    busy: DirBusy,
+    queue: VecDeque<DirReq>,
+}
+
+#[derive(Debug, Default)]
+struct CrlNode {
+    local: HashMap<Rid, RegionLocal>,
+    dir: HashMap<Rid, Dir>,
+    /// Requests that arrived before this (home) node's main thread ran
+    /// `create` — possible under skewed multiprogramming, where a remote
+    /// node's first quantum begins earlier than ours and its requests are
+    /// buffered ahead of our initialization.
+    early_reqs: HashMap<Rid, Vec<DirReq>>,
+    /// Protocol statistics: messages handled.
+    proto_msgs: u64,
+}
+
+/// A region-based software DSM instance for one job.
+///
+/// Shared via `Arc` between the job's program value on every node; each
+/// node's state lives behind its own mutex (never contended: the machine
+/// serializes a node's contexts).
+#[derive(Debug)]
+pub struct Crl {
+    nnodes: usize,
+    costs: CrlCosts,
+    nodes: Vec<Mutex<CrlNode>>,
+}
+
+impl Crl {
+    /// Creates the DSM layer for a job spanning `nnodes` nodes.
+    pub fn new(nnodes: usize) -> Self {
+        Crl::with_costs(nnodes, CrlCosts::default())
+    }
+
+    /// Creates the DSM layer with explicit software costs.
+    pub fn with_costs(nnodes: usize, costs: CrlCosts) -> Self {
+        Crl {
+            nnodes,
+            costs,
+            nodes: (0..nnodes).map(|_| Mutex::new(CrlNode::default())).collect(),
+        }
+    }
+
+    /// The home node of a region.
+    pub fn home(&self, rid: Rid) -> NodeId {
+        rid as usize % self.nnodes
+    }
+
+    fn key(rid: Rid) -> u32 {
+        0x8000_0000 | rid
+    }
+
+    /// Collectively creates a region of `init.len()` words. Every node of
+    /// the job must call this with identical arguments before any access;
+    /// the home node stores the master copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region already exists on this node.
+    pub fn create(&self, ctx: &mut UserCtx<'_>, rid: Rid, init: &[u32]) {
+        let me = ctx.node();
+        let mut st = self.nodes[me].lock().unwrap();
+        let prev = st.local.insert(
+            rid,
+            RegionLocal {
+                state: LState::Invalid,
+                data: Vec::new(),
+                len: init.len(),
+                hold: None,
+                wanted: false,
+                deferred: None,
+                filling: 0,
+            },
+        );
+        assert!(prev.is_none(), "region {rid} already exists on node {me}");
+        if self.home(rid) == me {
+            let queue: VecDeque<DirReq> = st
+                .early_reqs
+                .remove(&rid)
+                .map(Vec::into_iter)
+                .map(Iterator::collect)
+                .unwrap_or_default();
+            let had_early = !queue.is_empty();
+            st.dir.insert(
+                rid,
+                Dir {
+                    master: init.to_vec(),
+                    sharers: BTreeSet::new(),
+                    owner: None,
+                    busy: DirBusy::Idle,
+                    queue,
+                },
+            );
+            drop(st);
+            if had_early {
+                self.pump(ctx, rid);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mapped access
+    // ------------------------------------------------------------------
+
+    /// Begins a read hold. Blocks (the main thread) until a readable copy
+    /// is local.
+    pub fn start_read(&self, ctx: &mut UserCtx<'_>, rid: Rid) {
+        self.start(ctx, rid, false);
+    }
+
+    /// Begins a write hold. Blocks until the region is exclusive here.
+    pub fn start_write(&self, ctx: &mut UserCtx<'_>, rid: Rid) {
+        self.start(ctx, rid, true);
+    }
+
+    fn start(&self, ctx: &mut UserCtx<'_>, rid: Rid, write: bool) {
+        let me = ctx.node();
+        loop {
+            // Fast path: local state already suffices.
+            {
+                let mut st = self.nodes[me].lock().unwrap();
+                // The home node with no remote owner can serve itself.
+                self.try_home_local(&mut st, me, rid, write);
+                let region = st.local.get_mut(&rid).unwrap_or_else(|| {
+                    panic!("node {me} accessed region {rid} before create")
+                });
+                assert!(region.hold.is_none(), "region {rid} already held");
+                let ok = matches!(
+                    (write, region.state),
+                    (false, LState::Shared | LState::Exclusive) | (true, LState::Exclusive)
+                );
+                if ok {
+                    region.hold = Some(if write { Hold::Write } else { Hold::Read });
+                    region.wanted = false; // any deferred recall runs at end_*
+                    drop(st);
+                    ctx.compute(self.costs.hit);
+                    return;
+                }
+                region.filling = 0;
+                region.wanted = true;
+            }
+            // Miss: ask the home node and sleep until the grant lands.
+            ctx.compute(self.costs.miss);
+            ctx.send(self.home(rid), handlers::REQ, &[rid, write as u32]);
+            ctx.block(Self::key(rid));
+            // Re-check: an invalidation may have raced the wakeup.
+        }
+    }
+
+    /// Home-node self-service: if this node is home and the directory can
+    /// grant locally without messages, install the data directly.
+    fn try_home_local(&self, st: &mut CrlNode, me: NodeId, rid: Rid, write: bool) {
+        if self.home(rid) != me {
+            return;
+        }
+        let Some(dir) = st.dir.get_mut(&rid) else { return };
+        if dir.busy != DirBusy::Idle || !dir.queue.is_empty() {
+            return; // remote traffic in flight; join the queue instead
+        }
+        match (write, dir.owner) {
+            (false, None) => {
+                dir.sharers.insert(me);
+                let data = dir.master.clone();
+                let region = st.local.get_mut(&rid).expect("created");
+                if region.state == LState::Invalid {
+                    region.data = data;
+                    region.state = LState::Shared;
+                }
+            }
+            (true, None) if dir.sharers.iter().all(|&s| s == me) => {
+                dir.sharers.clear();
+                dir.owner = Some(me);
+                let data = dir.master.clone();
+                let region = st.local.get_mut(&rid).expect("created");
+                region.data = data;
+                region.state = LState::Exclusive;
+            }
+            (_, Some(o)) if o == me => {
+                // Already the owner: local state is Exclusive.
+            }
+            _ => {}
+        }
+    }
+
+    /// Ends a read hold, performing any deferred coherence work.
+    pub fn end_read(&self, ctx: &mut UserCtx<'_>, rid: Rid) {
+        self.end(ctx, rid, Hold::Read);
+    }
+
+    /// Ends a write hold, performing any deferred coherence work.
+    pub fn end_write(&self, ctx: &mut UserCtx<'_>, rid: Rid) {
+        self.end(ctx, rid, Hold::Write);
+    }
+
+    fn end(&self, ctx: &mut UserCtx<'_>, rid: Rid, expect: Hold) {
+        let me = ctx.node();
+        let deferred;
+        {
+            let mut st = self.nodes[me].lock().unwrap();
+            let region = st.local.get_mut(&rid).expect("region exists");
+            assert_eq!(region.hold, Some(expect), "mismatched end_* for region {rid}");
+            region.hold = None;
+            deferred = region.deferred.take();
+        }
+        ctx.compute(self.costs.end);
+        match deferred {
+            None => {}
+            Some(Deferred::Inv) => self.do_invalidate(ctx, rid),
+            Some(Deferred::Recall { full }) => self.do_flush(ctx, rid, full),
+        }
+    }
+
+    /// Copies a held region's contents out.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the caller holds the region (read or write).
+    pub fn snapshot(&self, ctx: &mut UserCtx<'_>, rid: Rid) -> Vec<u32> {
+        let me = ctx.node();
+        let st = self.nodes[me].lock().unwrap();
+        let region = &st.local[&rid];
+        assert!(region.hold.is_some(), "snapshot of unheld region {rid}");
+        region.data.clone()
+    }
+
+    /// Mutates a held-for-write region in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the caller holds the region for write.
+    pub fn update<R>(&self, ctx: &mut UserCtx<'_>, rid: Rid, f: impl FnOnce(&mut [u32]) -> R) -> R {
+        let me = ctx.node();
+        let mut st = self.nodes[me].lock().unwrap();
+        let region = st.local.get_mut(&rid).expect("region exists");
+        assert_eq!(
+            region.hold,
+            Some(Hold::Write),
+            "update of region {rid} without a write hold"
+        );
+        f(&mut region.data)
+    }
+
+    /// Total protocol messages this node has handled (for workload
+    /// characterization).
+    pub fn protocol_messages(&self, node: NodeId) -> u64 {
+        self.nodes[node].lock().unwrap().proto_msgs
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol handlers
+    // ------------------------------------------------------------------
+
+    /// Routes a coherence-protocol message; returns `false` if `env` is not
+    /// a CRL message (the application should handle it).
+    pub fn handle(&self, ctx: &mut UserCtx<'_>, env: &Envelope) -> bool {
+        match env.handler.0 {
+            handlers::REQ => self.on_req(ctx, env),
+            handlers::DATA => self.on_data(ctx, env),
+            handlers::INV => self.on_inv(ctx, env),
+            handlers::INV_ACK => self.on_inv_ack(ctx, env),
+            handlers::RECALL => self.on_recall(ctx, env),
+            handlers::FLUSH => self.on_flush(ctx, env),
+            _ => return false,
+        }
+        self.nodes[ctx.node()].lock().unwrap().proto_msgs += 1;
+        ctx.compute(self.costs.protocol);
+        true
+    }
+
+    fn on_req(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let rid = env.payload[0];
+        let write = env.payload[1] != 0;
+        let me = ctx.node();
+        let created = {
+            let mut st = self.nodes[me].lock().unwrap();
+            let req = DirReq {
+                node: env.src,
+                write,
+            };
+            match st.dir.get_mut(&rid) {
+                Some(dir) => {
+                    dir.queue.push_back(req);
+                    true
+                }
+                None => {
+                    assert_eq!(
+                        self.home(rid),
+                        me,
+                        "coherence request for region {rid} at non-home node {me}"
+                    );
+                    // Our main thread has not run `create` yet (skewed
+                    // startup); stash until it does.
+                    st.early_reqs.entry(rid).or_default().push(req);
+                    false
+                }
+            }
+        };
+        if created {
+            self.pump(ctx, rid);
+        }
+    }
+
+    /// Serves the directory queue head if the directory is idle.
+    fn pump(&self, ctx: &mut UserCtx<'_>, rid: Rid) {
+        let me = ctx.node();
+        loop {
+            enum Action {
+                Done,
+                Recall { to: NodeId, full: bool },
+                Invalidate { to: Vec<NodeId> },
+                Grant { req: DirReq, data: Vec<u32> },
+            }
+            let action = {
+                let mut st = self.nodes[me].lock().unwrap();
+                let dir = st.dir.get_mut(&rid).expect("pump at non-home");
+                if dir.busy != DirBusy::Idle {
+                    Action::Done
+                } else if let Some(&req) = dir.queue.front() {
+                    if let Some(o) = dir.owner {
+                        assert_ne!(
+                            o, req.node,
+                            "owner re-requested region {rid} before its flush arrived"
+                        );
+                        if o == me {
+                            // Home itself owns the region: flush locally
+                            // (no messages) unless the hold defers it.
+                            let region = st.local.get_mut(&rid).expect("created");
+                            if region.hold.is_some() || region.wanted {
+                                region.deferred = Some(Deferred::Recall { full: req.write });
+                                let dir = st.dir.get_mut(&rid).expect("home");
+                                dir.busy = DirBusy::AwaitFlush { fill: 0 };
+                                Action::Done
+                            } else {
+                                let data = region.data.clone();
+                                if req.write {
+                                    region.state = LState::Invalid;
+                                } else {
+                                    region.state = LState::Shared;
+                                }
+                                let dir = st.dir.get_mut(&rid).expect("home");
+                                dir.master = data;
+                                dir.owner = None;
+                                if !req.write {
+                                    dir.sharers.insert(me);
+                                }
+                                continue; // retry the head request
+                            }
+                        } else {
+                            dir.busy = DirBusy::AwaitFlush { fill: 0 };
+                            Action::Recall {
+                                to: o,
+                                full: req.write,
+                            }
+                        }
+                    } else if req.write {
+                        let others: Vec<NodeId> = dir
+                            .sharers
+                            .iter()
+                            .copied()
+                            .filter(|&s| s != req.node && s != me)
+                            .collect();
+                        let home_shared = dir.sharers.contains(&me);
+                        if !others.is_empty() {
+                            dir.busy = DirBusy::AwaitAcks { left: others.len() };
+                            Action::Invalidate { to: others }
+                        } else {
+                            // Only the requester and/or home share it.
+                            if home_shared {
+                                let region = st.local.get_mut(&rid).expect("created");
+                                // Home's own copy may be held; defer like
+                                // any sharer (hold only — see on_inv).
+                                if region.hold.is_some() {
+                                    region.deferred = Some(Deferred::Inv);
+                                    // Treat home as a pending ack.
+                                    let dir = st.dir.get_mut(&rid).expect("home");
+                                    dir.busy = DirBusy::AwaitAcks { left: 1 };
+                                    Action::Done
+                                } else {
+                                    region.state = LState::Invalid;
+                                    let dir = st.dir.get_mut(&rid).expect("home");
+                                    dir.sharers.remove(&me);
+                                    continue;
+                                }
+                            } else {
+                                let dir = st.dir.get_mut(&rid).expect("home");
+                                dir.queue.pop_front();
+                                dir.sharers.clear();
+                                dir.owner = Some(req.node);
+                                Action::Grant {
+                                    req,
+                                    data: dir.master.clone(),
+                                }
+                            }
+                        }
+                    } else {
+                        dir.queue.pop_front();
+                        dir.sharers.insert(req.node);
+                        Action::Grant {
+                            req,
+                            data: dir.master.clone(),
+                        }
+                    }
+                } else {
+                    Action::Done
+                }
+            };
+            match action {
+                Action::Done => return,
+                Action::Recall { to, full } => {
+                    ctx.send(to, handlers::RECALL, &[rid, full as u32]);
+                    return;
+                }
+                Action::Invalidate { to } => {
+                    for s in to {
+                        ctx.send(s, handlers::INV, &[rid]);
+                    }
+                    return;
+                }
+                Action::Grant { req, data } => {
+                    if req.node == me {
+                        // Local grant (home requested its own region while
+                        // traffic was queued): install directly.
+                        let mut st = self.nodes[me].lock().unwrap();
+                        let region = st.local.get_mut(&rid).expect("created");
+                        region.data = data;
+                        region.state = if req.write {
+                            LState::Exclusive
+                        } else {
+                            LState::Shared
+                        };
+                        drop(st);
+                        ctx.wake(Self::key(rid));
+                    } else {
+                        self.send_chunks(ctx, req.node, handlers::DATA, rid, req.write, &data);
+                    }
+                    // Loop: reads may continue to be granted.
+                }
+            }
+        }
+    }
+
+    fn send_chunks(
+        &self,
+        ctx: &mut UserCtx<'_>,
+        dst: NodeId,
+        handler: u32,
+        rid: Rid,
+        flag: bool,
+        data: &[u32],
+    ) {
+        let total = data.len() as u32;
+        if data.is_empty() {
+            ctx.send(dst, handler, &[rid, flag as u32, 0, 0]);
+            return;
+        }
+        let mut off = 0usize;
+        while off < data.len() {
+            let end = (off + CHUNK_WORDS).min(data.len());
+            let mut payload = vec![rid, flag as u32, off as u32, total];
+            payload.extend_from_slice(&data[off..end]);
+            ctx.send(dst, handler, &payload);
+            off = end;
+        }
+    }
+
+    fn on_data(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let rid = env.payload[0];
+        let write = env.payload[1] != 0;
+        let off = env.payload[2] as usize;
+        let total = env.payload[3] as usize;
+        let words = &env.payload[4..];
+        let me = ctx.node();
+        let complete = {
+            let mut st = self.nodes[me].lock().unwrap();
+            let region = st.local.get_mut(&rid).expect("grant for unknown region");
+            debug_assert_eq!(total, region.len, "grant size mismatch for region {rid}");
+            if region.data.len() != total {
+                region.data = vec![0; total];
+            }
+            region.data[off..off + words.len()].copy_from_slice(words);
+            region.filling += words.len();
+            if region.filling >= total {
+                region.filling = 0;
+                region.state = if write {
+                    LState::Exclusive
+                } else {
+                    LState::Shared
+                };
+                true
+            } else {
+                false
+            }
+        };
+        if complete {
+            ctx.wake(Self::key(rid));
+        }
+    }
+
+    fn on_inv(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let rid = env.payload[0];
+        let me = ctx.node();
+        let deferred = {
+            let mut st = self.nodes[me].lock().unwrap();
+            let region = st.local.get_mut(&rid).expect("inv for unknown region");
+            // Defer only while *held*. A merely `wanted` sharer must ack
+            // immediately: it may itself be awaiting a write upgrade from
+            // this same directory, and withholding the ack would deadlock.
+            // (RECALL is different — it only targets owners, so deferring
+            // it while wanted cannot form such a cycle.)
+            if region.hold.is_some() {
+                region.deferred = Some(Deferred::Inv);
+                true
+            } else {
+                region.state = LState::Invalid;
+                false
+            }
+        };
+        if !deferred {
+            ctx.send(self.home(rid), handlers::INV_ACK, &[rid, me as u32]);
+        }
+    }
+
+    fn do_invalidate(&self, ctx: &mut UserCtx<'_>, rid: Rid) {
+        let me = ctx.node();
+        {
+            let mut st = self.nodes[me].lock().unwrap();
+            let region = st.local.get_mut(&rid).expect("region exists");
+            region.state = LState::Invalid;
+        }
+        if self.home(rid) == me {
+            // Deferred self-invalidation at home: account the ack locally.
+            self.on_ack_internal(ctx, rid, me);
+        } else {
+            ctx.send(self.home(rid), handlers::INV_ACK, &[rid, me as u32]);
+        }
+    }
+
+    fn on_inv_ack(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let rid = env.payload[0];
+        let sharer = env.payload[1] as usize;
+        self.on_ack_internal(ctx, rid, sharer);
+    }
+
+    fn on_ack_internal(&self, ctx: &mut UserCtx<'_>, rid: Rid, sharer: NodeId) {
+        let me = ctx.node();
+        {
+            let mut st = self.nodes[me].lock().unwrap();
+            let dir = st.dir.get_mut(&rid).expect("ack at non-home");
+            dir.sharers.remove(&sharer);
+            match dir.busy {
+                DirBusy::AwaitAcks { left } => {
+                    dir.busy = if left <= 1 {
+                        DirBusy::Idle
+                    } else {
+                        DirBusy::AwaitAcks { left: left - 1 }
+                    };
+                }
+                _ => panic!("unexpected INV_ACK for region {rid}"),
+            }
+        }
+        self.pump(ctx, rid);
+    }
+
+    fn on_recall(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let rid = env.payload[0];
+        let full = env.payload[1] != 0;
+        let me = ctx.node();
+        let deferred = {
+            let mut st = self.nodes[me].lock().unwrap();
+            let region = st.local.get_mut(&rid).expect("recall for unknown region");
+            assert_eq!(region.state, LState::Exclusive, "recall of non-owner");
+            if region.hold.is_some() || region.wanted {
+                region.deferred = Some(Deferred::Recall { full });
+                true
+            } else {
+                false
+            }
+        };
+        if !deferred {
+            self.do_flush(ctx, rid, full);
+        }
+    }
+
+    fn do_flush(&self, ctx: &mut UserCtx<'_>, rid: Rid, full: bool) {
+        let me = ctx.node();
+        let data = {
+            let mut st = self.nodes[me].lock().unwrap();
+            let region = st.local.get_mut(&rid).expect("region exists");
+            let data = region.data.clone();
+            region.state = if full { LState::Invalid } else { LState::Shared };
+            data
+        };
+        self.send_chunks(ctx, self.home(rid), handlers::FLUSH, rid, full, &data);
+    }
+
+    fn on_flush(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
+        let rid = env.payload[0];
+        let _full = env.payload[1] != 0;
+        let off = env.payload[2] as usize;
+        let total = env.payload[3] as usize;
+        let words = &env.payload[4..];
+        let me = ctx.node();
+        let owner = env.src;
+        let complete = {
+            let mut st = self.nodes[me].lock().unwrap();
+            let dir = st.dir.get_mut(&rid).expect("flush at non-home");
+            dir.master[off..off + words.len()].copy_from_slice(words);
+            match dir.busy {
+                DirBusy::AwaitFlush { fill } => {
+                    let fill = fill + words.len();
+                    let done = fill >= total;
+                    if done {
+                        dir.busy = DirBusy::Idle;
+                        dir.owner = None;
+                        // A downgrade recall leaves the old owner sharing.
+                        let head_is_read =
+                            dir.queue.front().map(|r| !r.write).unwrap_or(false);
+                        if head_is_read {
+                            dir.sharers.insert(owner);
+                        }
+                    } else {
+                        dir.busy = DirBusy::AwaitFlush { fill };
+                    }
+                    done
+                }
+                _ => panic!("unexpected FLUSH for region {rid}"),
+            }
+        };
+        if complete {
+            self.pump(ctx, rid);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Loose gang scheduling with controllable skew (§5, "Experimental
+//! Environment").
+//!
+//! The paper's scheduler gang-switches between jobs at fixed timeslices,
+//! "using the local cycle count register on each node as a cue", and the
+//! experiments degrade schedule quality "by skewing the cycle count
+//! register on each node ... in a controlled manner. This skew creates a
+//! window at the beginning and end of each timeslice during which arriving
+//! messages will generate a mismatch-available interrupt."
+//!
+//! [`GangScheduler`] reproduces that: every node cycles through the job
+//! list with period `timeslice × jobs`, and node `i`'s boundaries are
+//! offset by `skew × timeslice × i / (nodes − 1)`. At `skew = 0` all nodes
+//! switch simultaneously; at larger skews the switch points fan out, so a
+//! message sent from an already-switched node to a not-yet-switched one
+//! finds the wrong GID scheduled and is diverted to the software buffer.
+
+use fugu_net::NodeId;
+use fugu_sim::Cycles;
+
+/// Index of a job (gang) in the scheduler's round-robin order.
+pub type JobIdx = usize;
+
+/// Deterministic loose-gang schedule: which job runs on which node when.
+///
+/// The scheduler is a pure function of time — the machine samples it at
+/// quantum boundaries; it holds no mutable state.
+///
+/// # Example
+///
+/// ```
+/// use fugu_glaze::GangScheduler;
+///
+/// // Two jobs, four nodes, 1000-cycle timeslices, no skew.
+/// let s = GangScheduler::new(1000, 0.0, 2, 4);
+/// assert_eq!(s.job_at(0, 0), 0);
+/// assert_eq!(s.job_at(0, 1000), 1);
+/// assert_eq!(s.job_at(0, 2000), 0);
+/// assert_eq!(s.next_switch(0, 0), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GangScheduler {
+    timeslice: Cycles,
+    jobs: usize,
+    offsets: Vec<Cycles>,
+}
+
+impl GangScheduler {
+    /// Creates a schedule for `jobs` gangs on `nodes` nodes.
+    ///
+    /// `skew` is the fraction of a timeslice by which the *last* node lags
+    /// the first; intermediate nodes are spaced evenly, exactly like the
+    /// skewed cycle-count registers in the paper's runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeslice`, `jobs` or `nodes` is zero, or if `skew` is
+    /// not in `[0, 1)`.
+    pub fn new(timeslice: Cycles, skew: f64, jobs: usize, nodes: usize) -> Self {
+        assert!(timeslice > 0, "timeslice must be nonzero");
+        assert!(jobs > 0, "need at least one job");
+        assert!(nodes > 0, "need at least one node");
+        assert!((0.0..1.0).contains(&skew), "skew must be in [0, 1)");
+        let offsets = (0..nodes)
+            .map(|i| {
+                if nodes == 1 {
+                    0
+                } else {
+                    (skew * timeslice as f64 * i as f64 / (nodes - 1) as f64).round() as Cycles
+                }
+            })
+            .collect();
+        GangScheduler {
+            timeslice,
+            jobs,
+            offsets,
+        }
+    }
+
+    /// The scheduler timeslice.
+    pub fn timeslice(&self) -> Cycles {
+        self.timeslice
+    }
+
+    /// Number of jobs in the rotation.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The quantum-boundary offset of `node`.
+    pub fn offset(&self, node: NodeId) -> Cycles {
+        self.offsets[node]
+    }
+
+    /// Which job is scheduled on `node` at absolute time `time`.
+    ///
+    /// Before a node's first boundary offset it runs the *last* job in the
+    /// rotation (so that at `time ≥ offset` every node starts job 0, and
+    /// zero-skew schedules are perfectly aligned).
+    pub fn job_at(&self, node: NodeId, time: Cycles) -> JobIdx {
+        let period = self.timeslice * self.jobs as Cycles;
+        let off = self.offsets[node];
+        // Shift into the periodic frame, keeping the value non-negative.
+        let phase = (time + period - off % period) % period;
+        (phase / self.timeslice) as usize % self.jobs
+    }
+
+    /// The first switch time strictly after `time` on `node`.
+    pub fn next_switch(&self, node: NodeId, time: Cycles) -> Cycles {
+        let off = self.offsets[node] % self.timeslice;
+        // Boundaries are at off + k * timeslice.
+        let k = (time + self.timeslice - off) / self.timeslice;
+        let mut t = off + k * self.timeslice;
+        if t <= time {
+            t += self.timeslice;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_skew_is_perfectly_aligned() {
+        let s = GangScheduler::new(1000, 0.0, 2, 8);
+        for node in 0..8 {
+            assert_eq!(s.job_at(node, 0), 0);
+            assert_eq!(s.job_at(node, 999), 0);
+            assert_eq!(s.job_at(node, 1000), 1);
+            assert_eq!(s.job_at(node, 1999), 1);
+            assert_eq!(s.job_at(node, 2000), 0);
+        }
+    }
+
+    #[test]
+    fn next_switch_is_strictly_future_boundary() {
+        let s = GangScheduler::new(1000, 0.0, 2, 2);
+        assert_eq!(s.next_switch(0, 0), 1000);
+        assert_eq!(s.next_switch(0, 999), 1000);
+        assert_eq!(s.next_switch(0, 1000), 2000);
+        assert_eq!(s.next_switch(0, 1001), 2000);
+    }
+
+    #[test]
+    fn skew_staggers_boundaries_across_nodes() {
+        let s = GangScheduler::new(1000, 0.5, 2, 3);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 250);
+        assert_eq!(s.offset(2), 500);
+        // Node 0 has switched to job 1 at t=1100; node 2 has not.
+        assert_eq!(s.job_at(0, 1100), 1);
+        assert_eq!(s.job_at(2, 1100), 0);
+        // By t=1500+ all have switched.
+        assert_eq!(s.job_at(2, 1500), 1);
+    }
+
+    #[test]
+    fn misalignment_window_matches_skew() {
+        // With skew s, the fraction of time nodes 0 and N-1 disagree is s.
+        let s = GangScheduler::new(1000, 0.2, 2, 2);
+        let disagree = (0..10_000u64)
+            .filter(|&t| s.job_at(0, t) != s.job_at(1, t))
+            .count();
+        assert_eq!(disagree, 2000); // 20% of the time
+    }
+
+    #[test]
+    fn next_switch_respects_offsets() {
+        let s = GangScheduler::new(1000, 0.5, 2, 3);
+        assert_eq!(s.next_switch(2, 0), 500);
+        assert_eq!(s.next_switch(2, 500), 1500);
+    }
+
+    #[test]
+    fn single_job_rotation_is_constant() {
+        let s = GangScheduler::new(1000, 0.0, 1, 4);
+        for t in [0, 500, 1500, 10_000] {
+            assert_eq!(s.job_at(2, t), 0);
+        }
+    }
+
+    #[test]
+    fn three_jobs_cycle_in_order() {
+        let s = GangScheduler::new(100, 0.0, 3, 1);
+        assert_eq!(s.job_at(0, 0), 0);
+        assert_eq!(s.job_at(0, 100), 1);
+        assert_eq!(s.job_at(0, 200), 2);
+        assert_eq!(s.job_at(0, 300), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew")]
+    fn full_skew_is_rejected() {
+        GangScheduler::new(1000, 1.0, 2, 2);
+    }
+
+    #[test]
+    fn schedule_share_is_fair_under_skew() {
+        // Over a long horizon each job gets ~half the node's time even with
+        // skewed boundaries.
+        let s = GangScheduler::new(1000, 0.3, 2, 4);
+        for node in 0..4 {
+            let job0 = (0..100_000u64).filter(|&t| s.job_at(node, t) == 0).count();
+            let frac = job0 as f64 / 100_000.0;
+            assert!((frac - 0.5).abs() < 0.02, "node {node}: {frac}");
+        }
+    }
+}

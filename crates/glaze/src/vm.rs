@@ -1,0 +1,149 @@
+//! Physical page-frame accounting.
+//!
+//! Virtual buffering's whole point (§4.2) is that buffer pages are ordinary
+//! demand-allocated virtual memory: "the pool of physical page frames
+//! available on a node are effectively shared with other dynamic consumers
+//! of memory". [`FrameAllocator`] models that per-node pool; the virtual
+//! buffer draws frames from it on demand and returns them as it drains, and
+//! the overflow-control policy watches its free count.
+
+use fugu_sim::stats::HighWater;
+
+/// Error returned when a node has no free page frames; without the second
+/// network this is the deadlock case of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfFrames;
+
+impl std::fmt::Display for OutOfFrames {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("no physical page frames available on this node")
+    }
+}
+
+impl std::error::Error for OutOfFrames {}
+
+/// Per-node physical page-frame pool.
+///
+/// # Example
+///
+/// ```
+/// use fugu_glaze::FrameAllocator;
+///
+/// let mut fa = FrameAllocator::new(4);
+/// fa.allocate().unwrap();
+/// fa.allocate().unwrap();
+/// assert_eq!(fa.free(), 2);
+/// fa.release(1);
+/// assert_eq!(fa.free(), 3);
+/// assert_eq!(fa.peak_used(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    total: u64,
+    used: HighWater,
+}
+
+impl FrameAllocator {
+    /// Creates a pool of `total` frames, all free.
+    pub fn new(total: u64) -> Self {
+        FrameAllocator {
+            total,
+            used: HighWater::new(),
+        }
+    }
+
+    /// Total frames in the pool.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Frames currently free.
+    pub fn free(&self) -> u64 {
+        self.total - self.used.current()
+    }
+
+    /// Frames currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used.current()
+    }
+
+    /// Highest simultaneous allocation ever reached — the paper's
+    /// "maximum number of physical pages required during any run".
+    pub fn peak_used(&self) -> u64 {
+        self.used.peak()
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when the pool is exhausted; the caller (the
+    /// buffer-insert path) must stall and let the OS page via the second
+    /// network, per §4.2.
+    pub fn allocate(&mut self) -> Result<(), OutOfFrames> {
+        if self.free() == 0 {
+            return Err(OutOfFrames);
+        }
+        self.used.adjust(1);
+        Ok(())
+    }
+
+    /// Returns `n` frames to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more frames are released than are allocated.
+    pub fn release(&mut self, n: u64) {
+        assert!(
+            n <= self.used.current(),
+            "released {} frames with only {} allocated",
+            n,
+            self.used.current()
+        );
+        self.used.adjust(-(n as i64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut fa = FrameAllocator::new(3);
+        assert_eq!(fa.free(), 3);
+        fa.allocate().unwrap();
+        fa.allocate().unwrap();
+        fa.allocate().unwrap();
+        assert_eq!(fa.free(), 0);
+        assert_eq!(fa.allocate(), Err(OutOfFrames));
+        fa.release(3);
+        assert_eq!(fa.free(), 3);
+        assert_eq!(fa.used(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_not_current() {
+        let mut fa = FrameAllocator::new(10);
+        for _ in 0..7 {
+            fa.allocate().unwrap();
+        }
+        fa.release(5);
+        assert_eq!(fa.used(), 2);
+        assert_eq!(fa.peak_used(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "released")]
+    fn over_release_panics() {
+        let mut fa = FrameAllocator::new(2);
+        fa.allocate().unwrap();
+        fa.release(2);
+    }
+
+    #[test]
+    fn zero_capacity_pool_always_fails() {
+        let mut fa = FrameAllocator::new(0);
+        assert_eq!(fa.allocate(), Err(OutOfFrames));
+    }
+}

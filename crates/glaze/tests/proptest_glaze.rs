@@ -1,0 +1,125 @@
+//! Property-based tests of the Glaze substrate: the virtual buffer must
+//! behave exactly like a FIFO while never leaking or double-counting page
+//! frames, and the gang scheduler must produce consistent, fair schedules
+//! for arbitrary parameters.
+
+use proptest::prelude::*;
+
+use fugu_glaze::{FrameAllocator, GangScheduler, VirtualBuffer};
+use fugu_net::{Gid, HandlerId, Message};
+
+#[derive(Debug, Clone)]
+enum VbOp {
+    Insert { words: usize },
+    InsertSwapped { words: usize },
+    Pop,
+    PageOutAll,
+}
+
+fn vb_op() -> impl Strategy<Value = VbOp> {
+    prop_oneof![
+        4 => (0usize..14).prop_map(|words| VbOp::Insert { words }),
+        1 => (0usize..14).prop_map(|words| VbOp::InsertSwapped { words }),
+        4 => Just(VbOp::Pop),
+        1 => Just(VbOp::PageOutAll),
+    ]
+}
+
+proptest! {
+    /// The virtual buffer is a FIFO over arbitrary insert/pop/swap/page-out
+    /// interleavings, frames are conserved, and a drained buffer holds no
+    /// frames.
+    #[test]
+    fn vbuf_is_a_fifo_and_conserves_frames(
+        ops in proptest::collection::vec(vb_op(), 1..200),
+        page_size in prop_oneof![Just(64usize), Just(128), Just(4096)],
+    ) {
+        let total_frames = 64;
+        let mut frames = FrameAllocator::new(total_frames);
+        let mut vb = VirtualBuffer::new(page_size);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next_tag = 0u32;
+
+        for op in ops {
+            match op {
+                VbOp::Insert { words } => {
+                    let msg = Message::new(0, 1, Gid::new(1), HandlerId(next_tag), vec![0; words]);
+                    if vb.insert(msg, &mut frames).is_ok() {
+                        model.push_back(next_tag);
+                    }
+                    next_tag += 1;
+                }
+                VbOp::InsertSwapped { words } => {
+                    let msg = Message::new(0, 1, Gid::new(1), HandlerId(next_tag), vec![0; words]);
+                    vb.insert_swapped(msg);
+                    model.push_back(next_tag);
+                    next_tag += 1;
+                }
+                VbOp::Pop => {
+                    match (vb.pop(&mut frames), model.pop_front()) {
+                        (Some((msg, _)), Some(tag)) => prop_assert_eq!(msg.handler().0, tag),
+                        (None, None) => {}
+                        (got, want) => prop_assert!(false, "pop mismatch: {got:?} vs {want:?}"),
+                    }
+                }
+                VbOp::PageOutAll => {
+                    vb.page_out_all(&mut frames);
+                    prop_assert_eq!(frames.used(), 0);
+                }
+            }
+            prop_assert_eq!(vb.len(), model.len());
+            prop_assert_eq!(vb.pages_in_use(), frames.used());
+            prop_assert!(frames.used() <= total_frames);
+            if model.is_empty() {
+                prop_assert_eq!(frames.used(), 0, "drained buffer pinned frames");
+            }
+        }
+    }
+
+    /// Gang schedules are internally consistent: `next_switch` is the first
+    /// time the assignment actually changes, and each job gets a fair share
+    /// of every node.
+    #[test]
+    fn gang_schedule_consistency(
+        timeslice in 100u64..5_000,
+        skew in 0.0f64..0.9,
+        jobs in 1usize..4,
+        nodes in 1usize..6,
+        samples in proptest::collection::vec(0u64..200_000, 10),
+    ) {
+        let s = GangScheduler::new(timeslice, skew, jobs, nodes);
+        for node in 0..nodes {
+            for &t in &samples {
+                let cur = s.job_at(node, t);
+                prop_assert!(cur < jobs);
+                let sw = s.next_switch(node, t);
+                prop_assert!(sw > t);
+                if jobs > 1 {
+                    // The assignment is constant until the switch, then
+                    // changes exactly at it.
+                    prop_assert_eq!(s.job_at(node, sw - 1), cur);
+                    prop_assert_ne!(s.job_at(node, sw), cur);
+                } else {
+                    prop_assert_eq!(s.job_at(node, sw), 0);
+                }
+            }
+            if jobs > 1 {
+                // Fairness over a long horizon.
+                let horizon = timeslice * jobs as u64 * 50;
+                let step = (horizon / 5_000).max(1);
+                let mut counts = vec![0u64; jobs];
+                let mut t = 0;
+                while t < horizon {
+                    counts[s.job_at(node, t)] += 1;
+                    t += step;
+                }
+                let total: u64 = counts.iter().sum();
+                for &c in &counts {
+                    let frac = c as f64 / total as f64;
+                    prop_assert!((frac - 1.0 / jobs as f64).abs() < 0.05,
+                        "unfair share {frac} for {jobs} jobs");
+                }
+            }
+        }
+    }
+}

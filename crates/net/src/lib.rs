@@ -1,0 +1,21 @@
+//! Message types and interconnection-network models for the FUGU
+//! reproduction.
+//!
+//! The paper's machine has **two logical networks**: the main
+//! application/data network (the Alewife mesh) and a "rudimentary second
+//! network" reserved to the operating system as a deadlock-free path to
+//! backing store (§4.2). Neither network's topology matters for the paper's
+//! results — what matters is *ordering* (per source/destination FIFO) and
+//! *timing* (a latency plus a per-word occupancy). [`Network`] models
+//! exactly that and nothing more, as recorded in DESIGN.md's substitution
+//! table.
+//!
+//! A [`Message`] here is the UDM unit of communication from §3: a routing
+//! header (destination), a handler word, and an unconstrained payload,
+//! stamped with the sender's [`Gid`] by the network-interface hardware.
+
+pub mod msg;
+pub mod network;
+
+pub use msg::{Gid, HandlerId, Message, NodeId, MAX_MESSAGE_WORDS};
+pub use network::{Network, NetworkConfig};

@@ -1,0 +1,154 @@
+//! The User Atomicity Control register (Table 3 of the paper).
+//!
+//! Four control bits: two writable by the user (`interrupt-disable`,
+//! `timer-force`, manipulated via `beginatom`/`endatom`) and two writable
+//! only in kernel mode (`dispose-pending`, `atomicity-extend`, planted by
+//! the OS to regain control at the end of a user atomic section).
+
+/// A mask naming one or more UAC bits.
+///
+/// # Example
+///
+/// ```
+/// use fugu_nic::UacMask;
+///
+/// let m = UacMask::INTERRUPT_DISABLE.union(UacMask::TIMER_FORCE);
+/// assert!(m.intersects(UacMask::TIMER_FORCE));
+/// assert!(!m.intersects(UacMask::KERNEL_BITS));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UacMask(u8);
+
+impl UacMask {
+    /// User bit: prevents *message-available* interrupts; with a message
+    /// pending it also enables the atomicity timer.
+    pub const INTERRUPT_DISABLE: UacMask = UacMask(0b0001);
+    /// User bit: enables the atomicity timer unconditionally.
+    pub const TIMER_FORCE: UacMask = UacMask(0b0010);
+    /// Kernel bit: set by the OS in the *message-available* stub, reset by
+    /// `dispose`; `endatom` with it set traps *dispose-failure*.
+    pub const DISPOSE_PENDING: UacMask = UacMask(0b0100);
+    /// Kernel bit: `endatom` with it set traps *atomicity-extend*.
+    pub const ATOMICITY_EXTEND: UacMask = UacMask(0b1000);
+
+    /// Both user-writable bits.
+    pub const USER_BITS: UacMask = UacMask(0b0011);
+    /// Both kernel-only bits.
+    pub const KERNEL_BITS: UacMask = UacMask(0b1100);
+    /// The empty mask.
+    pub const NONE: UacMask = UacMask(0);
+
+    /// Union of two masks.
+    pub const fn union(self, other: UacMask) -> UacMask {
+        UacMask(self.0 | other.0)
+    }
+
+    /// Returns `true` if the masks share any bit.
+    pub const fn intersects(self, other: UacMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Raw bit pattern (for display/debug).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::ops::BitOr for UacMask {
+    type Output = UacMask;
+    fn bitor(self, rhs: UacMask) -> UacMask {
+        self.union(rhs)
+    }
+}
+
+impl std::fmt::Binary for UacMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// The UAC register value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Uac(u8);
+
+impl Uac {
+    /// All bits clear.
+    pub fn new() -> Self {
+        Uac(0)
+    }
+
+    /// `UAC := UAC | mask` (beginatom semantics).
+    pub fn set(&mut self, mask: UacMask) {
+        self.0 |= mask.bits();
+    }
+
+    /// `UAC := UAC & !mask` (endatom semantics).
+    pub fn clear(&mut self, mask: UacMask) {
+        self.0 &= !mask.bits();
+    }
+
+    /// Returns `true` if **all** bits in `mask` are set.
+    pub fn get(&self, mask: UacMask) -> bool {
+        self.0 & mask.bits() == mask.bits() && mask.bits() != 0
+    }
+
+    /// Returns `true` if **any** bit in `mask` is set.
+    pub fn any(&self, mask: UacMask) -> bool {
+        self.0 & mask.bits() != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_get() {
+        let mut u = Uac::new();
+        u.set(UacMask::INTERRUPT_DISABLE);
+        assert!(u.get(UacMask::INTERRUPT_DISABLE));
+        assert!(!u.get(UacMask::TIMER_FORCE));
+        u.clear(UacMask::INTERRUPT_DISABLE);
+        assert!(!u.get(UacMask::INTERRUPT_DISABLE));
+    }
+
+    #[test]
+    fn get_requires_all_bits_any_requires_one() {
+        let mut u = Uac::new();
+        u.set(UacMask::INTERRUPT_DISABLE);
+        let both = UacMask::INTERRUPT_DISABLE | UacMask::TIMER_FORCE;
+        assert!(!u.get(both));
+        assert!(u.any(both));
+        u.set(UacMask::TIMER_FORCE);
+        assert!(u.get(both));
+    }
+
+    #[test]
+    fn empty_mask_is_never_set() {
+        let mut u = Uac::new();
+        u.set(UacMask::USER_BITS);
+        assert!(!u.get(UacMask::NONE));
+        assert!(!u.any(UacMask::NONE));
+    }
+
+    #[test]
+    fn masks_partition_user_and_kernel() {
+        assert!(!UacMask::USER_BITS.intersects(UacMask::KERNEL_BITS));
+        assert!(UacMask::INTERRUPT_DISABLE.intersects(UacMask::USER_BITS));
+        assert!(UacMask::DISPOSE_PENDING.intersects(UacMask::KERNEL_BITS));
+        assert!(UacMask::ATOMICITY_EXTEND.intersects(UacMask::KERNEL_BITS));
+        assert_eq!(
+            UacMask::USER_BITS.union(UacMask::KERNEL_BITS).bits(),
+            0b1111
+        );
+    }
+
+    #[test]
+    fn clearing_one_bit_preserves_others() {
+        let mut u = Uac::new();
+        u.set(UacMask::USER_BITS);
+        u.clear(UacMask::TIMER_FORCE);
+        assert!(u.get(UacMask::INTERRUPT_DISABLE));
+        assert!(!u.get(UacMask::TIMER_FORCE));
+    }
+}

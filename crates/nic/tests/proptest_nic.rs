@@ -1,0 +1,124 @@
+//! Property-based tests of the NIC state machine against a simple
+//! reference model: arbitrary interleavings of arrivals, disposes, kernel
+//! extracts and register writes must preserve FIFO order, never leak
+//! another group's message to the user, and keep the trap matrix exact.
+
+use proptest::prelude::*;
+
+use fugu_net::{Gid, HandlerId, Message};
+use fugu_nic::{HeadDisposition, Mode, Nic, NicConfig, Trap, UacMask};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { gid: u16, tag: u32 },
+    UserDispose,
+    KernelExtract,
+    SetGid(u16),
+    SetDivert(bool),
+    BeginAtomic,
+    EndAtomic,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u16..4, any::<u32>()).prop_map(|(gid, tag)| Op::Enqueue { gid, tag }),
+        Just(Op::UserDispose),
+        Just(Op::KernelExtract),
+        (1u16..4).prop_map(Op::SetGid),
+        any::<bool>().prop_map(Op::SetDivert),
+        Just(Op::BeginAtomic),
+        Just(Op::EndAtomic),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn nic_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let capacity = 4;
+        let mut nic = Nic::new(NicConfig { input_queue_msgs: capacity });
+        nic.set_gid(Gid::new(1));
+        // Reference model.
+        let mut queue: Vec<(u16, u32)> = Vec::new();
+        let mut cur_gid = 1u16;
+        let mut divert = false;
+        let mut disabled = false;
+
+        for op in ops {
+            match op {
+                Op::Enqueue { gid, tag } => {
+                    let msg = Message::new(0, 1, Gid::new(gid), HandlerId(tag), vec![]);
+                    let accepted = nic.enqueue(msg).is_ok();
+                    prop_assert_eq!(accepted, queue.len() < capacity);
+                    if accepted {
+                        queue.push((gid, tag));
+                    }
+                }
+                Op::UserDispose => {
+                    let model_ok = !divert
+                        && queue.first().is_some_and(|&(g, _)| g == cur_gid);
+                    match nic.dispose(Mode::User) {
+                        Ok(msg) => {
+                            prop_assert!(model_ok);
+                            let (g, tag) = queue.remove(0);
+                            prop_assert_eq!(msg.gid().raw(), g);
+                            prop_assert_eq!(msg.handler().0, tag);
+                        }
+                        Err(Trap::DisposeExtend) => prop_assert!(divert),
+                        Err(Trap::BadDispose) => prop_assert!(!model_ok && !divert),
+                        Err(other) => prop_assert!(false, "unexpected trap {other:?}"),
+                    }
+                }
+                Op::KernelExtract => {
+                    let got = nic.kernel_extract();
+                    prop_assert_eq!(got.is_some(), !queue.is_empty());
+                    if let Some(msg) = got {
+                        let (g, tag) = queue.remove(0);
+                        prop_assert_eq!(msg.gid().raw(), g);
+                        prop_assert_eq!(msg.handler().0, tag);
+                    }
+                }
+                Op::SetGid(g) => {
+                    nic.set_gid(Gid::new(g));
+                    cur_gid = g;
+                }
+                Op::SetDivert(d) => {
+                    nic.set_divert(d);
+                    divert = d;
+                }
+                Op::BeginAtomic => {
+                    nic.beginatom(Mode::User, UacMask::INTERRUPT_DISABLE).unwrap();
+                    disabled = true;
+                }
+                Op::EndAtomic => {
+                    // Kernel bits are never set in this test, so endatom
+                    // must succeed.
+                    nic.endatom(Mode::User, UacMask::INTERRUPT_DISABLE).unwrap();
+                    disabled = false;
+                }
+            }
+
+            // Invariants after every step.
+            let head = queue.first().copied();
+            let model_avail = !divert && head.is_some_and(|(g, _)| g == cur_gid);
+            prop_assert_eq!(nic.message_available(), model_avail);
+            // The user's peek never exposes another group's message.
+            if let Some(m) = nic.peek() {
+                prop_assert_eq!(m.gid().raw(), cur_gid);
+                prop_assert!(!divert);
+            }
+            // Disposition logic.
+            let expect = match head {
+                None => None,
+                Some((g, _)) if divert || g != cur_gid => {
+                    Some(HeadDisposition::KernelInterrupt)
+                }
+                Some(_) if disabled => Some(HeadDisposition::UserFlagOnly),
+                Some(_) => Some(HeadDisposition::UserInterrupt),
+            };
+            prop_assert_eq!(nic.head_disposition(), expect);
+            // Timer rule.
+            prop_assert_eq!(nic.timer_should_run(), disabled && model_avail);
+            prop_assert_eq!(nic.queue_len(), queue.len());
+        }
+    }
+}

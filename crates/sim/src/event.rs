@@ -1,0 +1,227 @@
+//! Cancellable future-event list.
+//!
+//! The engine of the simulated FUGU machine needs one non-obvious feature
+//! from its event queue: *cancellation*. When a message-available interrupt
+//! preempts a user thread in the middle of a `compute` block, the thread's
+//! already-scheduled completion event must be withdrawn and re-issued later
+//! with the remaining work. [`EventQueue::cancel`] supports exactly that.
+//!
+//! Events at equal times are delivered in insertion order (FIFO), which is
+//! what makes whole-machine simulations deterministic.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::Cycles;
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Identifiers are unique for the lifetime of the queue; cancelling or
+/// popping an event invalidates its identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A time-ordered, cancellable queue of future events.
+///
+/// `E` is the event payload type. The queue tracks the current simulated
+/// time: [`EventQueue::pop`] advances [`EventQueue::now`] to the time of the
+/// popped event.
+///
+/// # Example
+///
+/// ```
+/// use fugu_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(100, "timeout");
+/// q.schedule(50, "arrival");
+/// assert_eq!(q.cancel(a), Some("timeout"));
+/// assert_eq!(q.pop(), Some((50, "arrival")));
+/// assert_eq!(q.now(), 50);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Cycles, u64)>>,
+    live: HashMap<u64, E>,
+    next_id: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_id: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (zero before any event has fired).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`]; the simulation
+    /// may not travel backwards.
+    pub fn schedule(&mut self, at: Cycles, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduled event at {} before current time {}",
+            at,
+            self.now
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Reverse((at, id)));
+        self.live.insert(id, event);
+        EventId(id)
+    }
+
+    /// Schedules `event` to fire `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) -> EventId {
+        let at = self.now.checked_add(delay).expect("simulated time overflow");
+        self.schedule(at, event)
+    }
+
+    /// Withdraws a scheduled event, returning its payload, or `None` if the
+    /// event already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        self.live.remove(&id.0)
+    }
+
+    /// Returns `true` if the event has neither fired nor been cancelled.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.live.contains_key(&id.0)
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        self.skim_cancelled();
+        self.heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp. Ties fire in insertion order.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        loop {
+            let Reverse((t, id)) = self.heap.pop()?;
+            if let Some(ev) = self.live.remove(&id) {
+                debug_assert!(t >= self.now);
+                self.now = t;
+                return Some((t, ev));
+            }
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Drops cancelled entries sitting at the head of the heap so that
+    /// `peek_time` reports a live event's time.
+    fn skim_cancelled(&mut self) {
+        while let Some(Reverse((_, id))) = self.heap.peek() {
+            if self.live.contains_key(id) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..16 {
+            q.schedule(42, i);
+        }
+        for i in 0..16 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(10, "a");
+        let b = q.schedule(20, "b");
+        assert!(q.is_pending(a));
+        assert_eq!(q.cancel(a), Some("a"));
+        assert!(!q.is_pending(a));
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert!(!q.is_pending(b));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(10, "a");
+        q.schedule(20, "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(20));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule_in(5, "y");
+        assert_eq!(q.pop(), Some((105, "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule(99, "y");
+    }
+
+    #[test]
+    fn now_starts_at_zero_and_tracks_pops() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(7, ());
+        q.pop();
+        assert_eq!(q.now(), 7);
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic discrete-event simulation engine for the FUGU reproduction.
+//!
+//! This crate is the machine-independent substrate under the simulated FUGU
+//! multicomputer of the HPCA 1998 paper *"Exploiting Two-Case Delivery for
+//! Fast Protected Messaging"*. It knows nothing about networks, network
+//! interfaces or operating systems; it provides four things:
+//!
+//! * [`event::EventQueue`] — a cancellable, strictly ordered future-event
+//!   list keyed by simulated [`Cycles`];
+//! * [`coro`] — a *sim-thread* runtime that lets simulated programs be
+//!   written as ordinary Rust closures which block on simulator calls, while
+//!   guaranteeing that exactly one sim-thread runs at a time (so simulations
+//!   are fully deterministic);
+//! * [`rng::DetRng`] — a small, self-contained, seedable PRNG so results do
+//!   not depend on external crate versions;
+//! * [`stats`] — counters, accumulators and histograms used by the
+//!   experiment harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use fugu_sim::event::EventQueue;
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(10, "b");
+//! q.schedule(5, "a");
+//! assert_eq!(q.pop(), Some((5, "a")));
+//! assert_eq!(q.pop(), Some((10, "b")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+pub mod coro;
+pub mod event;
+pub mod rng;
+pub mod stats;
+
+/// Simulated time, measured in processor clock cycles.
+///
+/// The paper reports every cost in cycles of the FUGU (Sparcle) processor;
+/// we keep the same unit throughout the reproduction.
+pub type Cycles = u64;

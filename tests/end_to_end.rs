@@ -1,0 +1,124 @@
+//! Workspace-level end-to-end tests exercising the full stack through the
+//! umbrella crate: three gang-scheduled jobs (a CRL application, a native
+//! UDM application and the null application) under a skewed schedule, with
+//! every message accounted for and results validated.
+
+
+use two_case_delivery::apps::barrier::{BarrierApp, BarrierParams};
+use two_case_delivery::apps::enumerate::{EnumApp, EnumParams};
+use two_case_delivery::apps::lu::{LuApp, LuParams};
+use two_case_delivery::apps::NullApp;
+use two_case_delivery::{CostModel, Machine, MachineConfig};
+
+fn enum_params() -> EnumParams {
+    EnumParams {
+        side: 4,
+        empty: 1,
+        spray_depth: 2,
+        spray_percent: 25,
+        steal_batch: 2,
+        expand_cost: 100,
+    }
+}
+
+#[test]
+fn three_way_multiprogramming_with_skew() {
+    let nodes = 4;
+    let lu = LuApp::spec(
+        nodes,
+        LuParams {
+            n: 24,
+            block: 8,
+            flop_cost: 2,
+        },
+    );
+    let en = EnumApp::spec(nodes, enum_params());
+    let mut m = Machine::new(MachineConfig {
+        nodes,
+        skew: 0.25,
+        costs: CostModel {
+            timeslice: 40_000,
+            ..CostModel::hard_atomicity()
+        },
+        ..Default::default()
+    });
+    m.add_job(LuApp::job(&lu));
+    m.add_job(EnumApp::job(&en));
+    m.add_job(NullApp::spec());
+    let r = m.run();
+
+    // Both foreground jobs finished correctly despite buffering.
+    assert!(lu.residual().unwrap() < 1e-4);
+    assert_eq!(en.solutions(), Some(EnumApp::reference_count(enum_params())));
+    {
+        let j = r.job("lu");
+        assert_eq!(j.delivered(), j.sent, "lu lost messages");
+        let j = r.job("enum");
+        // enum's steal chatter may leave a couple of control replies in
+        // flight at exit.
+        assert!(j.sent - j.delivered() <= nodes as u64, "enum lost messages");
+    }
+    // A three-job skewed schedule must exercise the buffered path somewhere.
+    let buffered: u64 = r.jobs.iter().map(|j| j.delivered_buffered).sum();
+    assert!(buffered > 0, "no message ever took the buffered path");
+    // And physical buffering demand stays small (§5.1).
+    assert!(r.peak_buffer_pages() <= 7);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let nodes = 4;
+        let en = EnumApp::spec(nodes, enum_params());
+        let mut m = Machine::new(MachineConfig {
+            nodes,
+            skew: 0.15,
+            seed: 99,
+            costs: CostModel {
+                timeslice: 30_000,
+                ..CostModel::hard_atomicity()
+            },
+            ..Default::default()
+        });
+        m.add_job(EnumApp::job(&en));
+        m.add_job(BarrierApp::spec(nodes, BarrierParams { barriers: 50, work: 100 }));
+        m.add_job(NullApp::spec());
+        let r = m.run();
+        (
+            r.end_time,
+            r.jobs.iter().map(|j| (j.sent, j.delivered_buffered)).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn kernel_vs_protected_overhead_is_small_for_real_apps() {
+    // §6: protection costs ~60% more per null message but only 1–4% of
+    // total runtime for real applications. Compare barrier's completion
+    // under unprotected kernel messaging vs the protected fast path.
+    let nodes = 4;
+    let run = |costs: CostModel| {
+        let mut m = Machine::new(MachineConfig {
+            nodes,
+            costs,
+            ..Default::default()
+        });
+        m.add_job(BarrierApp::spec(
+            nodes,
+            BarrierParams {
+                barriers: 300,
+                work: 1_000, // a modestly communicating app
+            },
+        ));
+        m.run().job("barrier").completion.unwrap() as f64
+    };
+    let kernel = run(CostModel::kernel());
+    let protected = run(CostModel::hard_atomicity());
+    let slowdown = protected / kernel - 1.0;
+    assert!(
+        slowdown > 0.0 && slowdown < 0.10,
+        "protection overhead should be percent-scale, got {:.1}%",
+        100.0 * slowdown
+    );
+}
