@@ -187,7 +187,12 @@ impl Octree {
                 com[d] *= mass;
             }
         }
-        let children: Vec<usize> = self.cells[cell].children.iter().flatten().copied().collect();
+        let children: Vec<usize> = self.cells[cell]
+            .children
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         for c in children {
             let (m, cc) = self.summarize(c, bodies);
             mass += m;
@@ -207,7 +212,13 @@ impl Octree {
 
     /// Computes the acceleration on `pos` by θ-opening traversal; returns
     /// the acceleration and the number of interactions evaluated.
-    fn accel(&self, pos: [f32; 3], skip_body: usize, theta: f32, bodies: &[Body]) -> ([f32; 3], u64) {
+    fn accel(
+        &self,
+        pos: [f32; 3],
+        skip_body: usize,
+        theta: f32,
+        bodies: &[Body],
+    ) -> ([f32; 3], u64) {
         let mut acc = [0.0f32; 3];
         let mut interactions = 0u64;
         let mut stack = vec![0usize];
@@ -268,7 +279,10 @@ impl BarnesApp {
     ///
     /// Panics unless `bodies` divides evenly among nodes.
     pub fn new(nodes: usize, params: BarnesParams) -> Self {
-        assert!(params.bodies.is_multiple_of(nodes), "bodies must divide among nodes");
+        assert!(
+            params.bodies.is_multiple_of(nodes),
+            "bodies must divide among nodes"
+        );
         BarnesApp {
             params,
             crl: Crl::new(nodes),
@@ -344,8 +358,11 @@ impl Program for BarnesApp {
         // regions collectively with identical initial data.
         let init = self.initial_bodies();
         for r in 0..p {
-            self.crl
-                .create(ctx, r as u32, &Self::encode_chunk(&init[r * per..(r + 1) * per]));
+            self.crl.create(
+                ctx,
+                r as u32,
+                &Self::encode_chunk(&init[r * per..(r + 1) * per]),
+            );
         }
         self.barrier.wait(ctx);
 

@@ -51,7 +51,10 @@ impl BarrierApp {
     ///
     /// Panics unless `nodes` is a power of two (dissemination rounds).
     pub fn new(nodes: usize, params: BarrierParams) -> Self {
-        assert!(nodes.is_power_of_two(), "barrier requires power-of-two nodes");
+        assert!(
+            nodes.is_power_of_two(),
+            "barrier requires power-of-two nodes"
+        );
         let rounds = nodes.trailing_zeros() as usize;
         BarrierApp {
             params,

@@ -84,8 +84,7 @@ fn move_table(side: u32) -> Vec<(u32, u32, u32)> {
             let from = idx(r, c).expect("in range");
             // Six directions on the triangular grid: (dr, dc).
             for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0), (1, 1), (-1, -1)] {
-                if let (Some(over), Some(to)) = (idx(r + dr, c + dc), idx(r + 2 * dr, c + 2 * dc))
-                {
+                if let (Some(over), Some(to)) = (idx(r + dr, c + dc), idx(r + 2 * dr, c + 2 * dc)) {
                     moves.push((from, over, to));
                 }
             }
@@ -207,18 +206,13 @@ impl EnumApp {
         {
             let mut st = self.nodes[me].lock().unwrap();
             for &(from, over, to) in &self.moves {
-                if board & (1 << from) != 0 && board & (1 << over) != 0 && board & (1 << to) == 0
-                {
+                if board & (1 << from) != 0 && board & (1 << over) != 0 && board & (1 << to) == 0 {
                     let child = board & !(1 << from) & !(1 << over) | (1 << to);
                     let h = hash_board(child);
                     let spray = p > 1
                         && (depth < self.params.spray_depth
                             || (h >> 32) % 100 < self.params.spray_percent as u64);
-                    let dst = if spray {
-                        (h % p as u64) as usize
-                    } else {
-                        me
-                    };
+                    let dst = if spray { (h % p as u64) as usize } else { me };
                     if dst == me {
                         st.queue.push_back(child);
                     } else {
@@ -287,7 +281,11 @@ impl Program for EnumApp {
         let me = ctx.node();
         let p = ctx.nodes();
         if me == 0 {
-            self.nodes[0].lock().unwrap().queue.push_back(self.initial_board());
+            self.nodes[0]
+                .lock()
+                .unwrap()
+                .queue
+                .push_back(self.initial_board());
         }
         loop {
             let work = {
@@ -391,8 +389,7 @@ impl Program for EnumApp {
                 let mut st = self.nodes[0].lock().unwrap();
                 if env.payload[0] == st.report_gen {
                     let from = env.payload[4] as usize;
-                    st.reports[from] =
-                        Some((env.payload[1], env.payload[2], env.payload[3] != 0));
+                    st.reports[from] = Some((env.payload[1], env.payload[2], env.payload[3] != 0));
                 }
             }
             H_STOP => {

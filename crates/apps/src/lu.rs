@@ -131,7 +131,8 @@ impl Program for LuApp {
                         init[i * b + j] = self.a0(bi * b + i, bj * b + j);
                     }
                 }
-                self.crl.create(ctx, self.rid(bi, bj), &f32bits::encode(&init));
+                self.crl
+                    .create(ctx, self.rid(bi, bj), &f32bits::encode(&init));
             }
         }
         self.barrier.wait(ctx);

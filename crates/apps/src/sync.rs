@@ -32,7 +32,10 @@ impl MsgBarrier {
     ///
     /// Panics unless `nodes` is a power of two.
     pub fn new(nodes: usize) -> Self {
-        assert!(nodes.is_power_of_two(), "barrier requires power-of-two nodes");
+        assert!(
+            nodes.is_power_of_two(),
+            "barrier requires power-of-two nodes"
+        );
         let rounds = nodes.trailing_zeros() as usize;
         MsgBarrier {
             nodes: (0..nodes)

@@ -62,7 +62,9 @@ impl SynthApp {
         assert!(nodes >= 2, "synth needs at least two nodes");
         SynthApp {
             params,
-            nodes: (0..nodes).map(|_| Mutex::new(NodeState { replies: 0 })).collect(),
+            nodes: (0..nodes)
+                .map(|_| Mutex::new(NodeState { replies: 0 }))
+                .collect(),
         }
     }
 

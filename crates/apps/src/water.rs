@@ -108,11 +108,7 @@ impl WaterApp {
         let mut rng = DetRng::new(self.params.seed);
         (0..self.params.molecules)
             .map(|_| Mol {
-                pos: [
-                    rng.f64() as f32,
-                    rng.f64() as f32,
-                    rng.f64() as f32,
-                ],
+                pos: [rng.f64() as f32, rng.f64() as f32, rng.f64() as f32],
                 vel: [
                     rng.range_f64(-0.05, 0.05) as f32,
                     rng.range_f64(-0.05, 0.05) as f32,
@@ -209,9 +205,7 @@ impl Program for WaterApp {
                     m.pos[d] = (m.pos[d] + m.vel[d] * self.params.dt).rem_euclid(1.0);
                 }
             }
-            ctx.compute(
-                self.params.pair_check_cost * checks + self.params.interact_cost * hits,
-            );
+            ctx.compute(self.params.pair_check_cost * checks + self.params.interact_cost * hits);
             self.barrier.wait(ctx);
 
             self.crl.start_write(ctx, me as u32);

@@ -9,8 +9,10 @@ use fugu_apps::barrier::BarrierApp;
 use fugu_apps::enumerate::EnumApp;
 use fugu_apps::lu::LuApp;
 use fugu_apps::synth::SynthApp;
-use fugu_apps::{BarnesApp, BarnesParams, BarrierParams, EnumParams, LuParams, SynthParams,
-    WaterApp, WaterParams};
+use fugu_apps::{
+    BarnesApp, BarnesParams, BarrierParams, EnumParams, LuParams, SynthParams, WaterApp,
+    WaterParams,
+};
 use udm::{Machine, MachineConfig};
 
 fn machine(nodes: usize) -> Machine {
@@ -35,13 +37,23 @@ fn barrier_completes_with_expected_message_count() {
     // Dissemination: P * log2(P) messages per barrier.
     assert_eq!(j.sent, nodes as u64 * 3 * barriers as u64);
     assert_eq!(j.delivered(), j.sent);
-    assert_eq!(j.buffered_fraction(), 0.0, "standalone run must be all-fast");
+    assert_eq!(
+        j.buffered_fraction(),
+        0.0,
+        "standalone run must be all-fast"
+    );
 }
 
 #[test]
 fn barrier_single_node_degenerates() {
     let mut m = machine(1);
-    m.add_job(BarrierApp::spec(1, BarrierParams { barriers: 10, work: 5 }));
+    m.add_job(BarrierApp::spec(
+        1,
+        BarrierParams {
+            barriers: 10,
+            work: 5,
+        },
+    ));
     let r = m.run();
     assert_eq!(r.job("barrier").sent, 0);
 }
@@ -78,7 +90,12 @@ fn enum_counts_match_sequential_reference() {
             // Steal-protocol chatter (a NOWORK reply racing the STOP
             // broadcast) may be in flight when the job exits; everything
             // else must be delivered.
-            assert!(j.sent - j.delivered() <= nodes as u64, "{} of {} undelivered", j.sent - j.delivered(), j.sent);
+            assert!(
+                j.sent - j.delivered() <= nodes as u64,
+                "{} of {} undelivered",
+                j.sent - j.delivered(),
+                j.sent
+            );
         }
     }
 }
@@ -142,10 +159,7 @@ fn lu_factorization_is_accurate() {
         m.add_job(LuApp::job(&app));
         m.run();
         let res = app.residual().expect("node 0 validates");
-        assert!(
-            res < 1e-4,
-            "LU residual {res} too large on {nodes} node(s)"
-        );
+        assert!(res < 1e-4, "LU residual {res} too large on {nodes} node(s)");
     }
 }
 
@@ -229,7 +243,13 @@ fn apps_survive_skewed_multiprogramming() {
 
     // barrier × null
     let mut m = Machine::new(mk());
-    m.add_job(BarrierApp::spec(nodes, BarrierParams { barriers: 50, work: 0 }));
+    m.add_job(BarrierApp::spec(
+        nodes,
+        BarrierParams {
+            barriers: 50,
+            work: 0,
+        },
+    ));
     m.add_job(NullApp::spec());
     let r = m.run();
     assert_eq!(r.job("barrier").delivered(), r.job("barrier").sent);
@@ -302,7 +322,11 @@ fn barnes_and_water_survive_skewed_multiprogramming() {
     m.add_job(BarnesApp::job(&app));
     m.add_job(NullApp::spec());
     let r = m.run();
-    assert_eq!(app.checksum(), Some(reference), "buffering corrupted barnes");
+    assert_eq!(
+        app.checksum(),
+        Some(reference),
+        "buffering corrupted barnes"
+    );
     assert_eq!(r.job("barnes").delivered(), r.job("barnes").sent);
 
     // Water: same property.

@@ -1,13 +1,27 @@
-//! Criterion benchmarks of whole simulated-machine runs: how fast the host
-//! executes the reproduction's key scenarios. These double as regression
-//! guards for the experiment harnesses' run times.
+//! Benchmarks of whole simulated-machine runs: how fast the host executes
+//! the reproduction's key scenarios. These double as regression guards for
+//! the experiment harnesses' run times. Dependency-free: each scenario runs
+//! a fixed number of times and reports the mean wall-clock per run.
+//!
+//! Run with `cargo bench --bench machine`.
 
+use std::hint::black_box;
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use fugu_apps::{BarrierApp, BarrierParams, NullApp, SynthApp, SynthParams};
 use udm::{CostModel, Envelope, JobSpec, Machine, MachineConfig, Program, UserCtx};
+
+fn bench_runs(name: &str, runs: u32, mut f: impl FnMut() -> u64) {
+    // One warmup run, then the timed ones.
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..runs {
+        black_box(f());
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(runs);
+    println!("{name:<32} {ms:>10.2} ms/run  ({runs} runs)");
+}
 
 /// 100 interrupt-delivered ping-pongs on two nodes.
 struct PingPong;
@@ -39,58 +53,48 @@ impl Program for PingPong {
     }
 }
 
-fn bench_pingpong(c: &mut Criterion) {
-    c.bench_function("machine_pingpong_100", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig {
-                nodes: 2,
-                ..Default::default()
-            });
-            m.add_job(JobSpec::new("pp", Arc::new(PingPong)));
-            m.run().end_time
-        })
+fn main() {
+    bench_runs("machine_pingpong_100", 20, || {
+        let mut m = Machine::new(MachineConfig {
+            nodes: 2,
+            ..Default::default()
+        });
+        m.add_job(JobSpec::new("pp", Arc::new(PingPong)));
+        m.run().end_time
+    });
+
+    bench_runs("machine_barrier_50x4", 10, || {
+        let mut m = Machine::new(MachineConfig {
+            nodes: 4,
+            ..Default::default()
+        });
+        m.add_job(BarrierApp::spec(
+            4,
+            BarrierParams {
+                barriers: 50,
+                work: 0,
+            },
+        ));
+        m.run().end_time
+    });
+
+    bench_runs("machine_synth10_vs_null_skewed", 5, || {
+        let mut m = Machine::new(MachineConfig {
+            nodes: 4,
+            skew: 0.01,
+            costs: CostModel::hard_atomicity(),
+            ..Default::default()
+        });
+        m.add_job(SynthApp::spec(
+            4,
+            SynthParams {
+                group: 10,
+                groups: 5,
+                t_betw: 500,
+                handler_stall: 193,
+            },
+        ));
+        m.add_job(NullApp::spec());
+        m.run().end_time
     });
 }
-
-fn bench_barrier(c: &mut Criterion) {
-    c.bench_function("machine_barrier_50x4", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig {
-                nodes: 4,
-                ..Default::default()
-            });
-            m.add_job(BarrierApp::spec(4, BarrierParams { barriers: 50, work: 0 }));
-            m.run().end_time
-        })
-    });
-}
-
-fn bench_multiprogrammed_synth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine_synth");
-    g.sample_size(10);
-    g.bench_function("synth10_vs_null_skewed", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig {
-                nodes: 4,
-                skew: 0.01,
-                costs: CostModel::hard_atomicity(),
-                ..Default::default()
-            });
-            m.add_job(SynthApp::spec(
-                4,
-                SynthParams {
-                    group: 10,
-                    groups: 5,
-                    t_betw: 500,
-                    handler_stall: 193,
-                },
-            ));
-            m.add_job(NullApp::spec());
-            m.run().end_time
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(machine, bench_pingpong, bench_barrier, bench_multiprogrammed_synth);
-criterion_main!(machine);

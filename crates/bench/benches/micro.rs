@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks of the substrate crates (host performance of
-//! the simulator itself, not simulated-cycle results — those come from the
-//! harness binaries).
+//! Micro-benchmarks of the substrate crates (host performance of the
+//! simulator itself, not simulated-cycle results — those come from the
+//! harness binaries). Dependency-free: each benchmark calibrates an
+//! iteration count to a wall-clock budget and reports ns/iter.
+//!
+//! Run with `cargo bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use fugu_glaze::{FrameAllocator, VirtualBuffer};
 use fugu_net::{Gid, HandlerId, Message, Network, NetworkConfig};
@@ -11,82 +14,92 @@ use fugu_nic::{Mode, Nic, NicConfig};
 use fugu_sim::event::EventQueue;
 use fugu_sim::rng::DetRng;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(i * 7 % 997, black_box(i));
-            }
-            let mut sum = 0;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
+/// Times `f` by running warmup rounds to pick an iteration count that fills
+/// roughly 200 ms, then reports the mean over that many iterations.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up and calibrate.
+    let probe = Instant::now();
+    let mut calib_iters = 0u64;
+    while probe.elapsed().as_millis() < 20 {
+        f();
+        calib_iters += 1;
+    }
+    let per_iter = probe.elapsed().as_nanos() as u64 / calib_iters.max(1);
+    let iters = (200_000_000 / per_iter.max(1)).clamp(1, 10_000_000);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() as u64 / iters;
+    println!("{name:<32} {ns:>12} ns/iter  ({iters} iters)");
+}
+
+fn bench_event_queue() {
+    bench("event_queue_schedule_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(i * 7 % 997, black_box(i));
+        }
+        let mut sum = 0;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum);
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("det_rng_range_u64", |b| {
-        let mut rng = DetRng::new(42);
-        b.iter(|| black_box(rng.range_u64(0, 1_000_000)))
+fn bench_rng() {
+    let mut rng = DetRng::new(42);
+    bench("det_rng_range_u64", || {
+        black_box(rng.range_u64(0, 1_000_000));
     });
 }
 
-fn bench_nic(c: &mut Criterion) {
-    c.bench_function("nic_enqueue_dispose", |b| {
-        let mut nic = Nic::new(NicConfig::default());
-        nic.set_gid(Gid::new(1));
-        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![1, 2, 3, 4]);
-        b.iter(|| {
-            nic.enqueue(black_box(msg.clone())).unwrap();
-            black_box(nic.dispose(Mode::User).unwrap())
-        })
+fn bench_nic() {
+    let mut nic = Nic::new(NicConfig::default());
+    nic.set_gid(Gid::new(1));
+    let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![1, 2, 3, 4]);
+    bench("nic_enqueue_dispose", || {
+        nic.enqueue(black_box(msg.clone())).unwrap();
+        black_box(nic.dispose(Mode::User).unwrap());
     });
-    c.bench_function("nic_describe_launch", |b| {
-        let mut nic = Nic::new(NicConfig::default());
-        nic.set_gid(Gid::new(1));
-        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 8]);
-        b.iter(|| {
-            nic.describe(black_box(msg.clone()));
-            black_box(nic.launch(Mode::User).unwrap())
-        })
+
+    let mut nic = Nic::new(NicConfig::default());
+    nic.set_gid(Gid::new(1));
+    let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 8]);
+    bench("nic_describe_launch", || {
+        nic.describe(black_box(msg.clone()));
+        black_box(nic.launch(Mode::User).unwrap());
     });
 }
 
-fn bench_vbuf(c: &mut Criterion) {
-    c.bench_function("vbuf_insert_pop", |b| {
-        let mut frames = FrameAllocator::new(1024);
-        let mut vb = VirtualBuffer::new(4096);
-        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 6]);
-        b.iter(|| {
-            vb.insert(black_box(msg.clone()), &mut frames).unwrap();
-            black_box(vb.pop(&mut frames))
-        })
+fn bench_vbuf() {
+    let mut frames = FrameAllocator::new(1024);
+    let mut vb = VirtualBuffer::new(4096);
+    let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 6]);
+    bench("vbuf_insert_pop", || {
+        vb.insert(black_box(msg.clone()), &mut frames).unwrap();
+        black_box(vb.pop(&mut frames));
     });
 }
 
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("network_inject_deliver", |b| {
-        let mut net = Network::new(NetworkConfig::main_network());
-        let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 4]);
-        let mut t = 0;
-        b.iter(|| {
-            t += 100;
-            let at = net.inject(t, black_box(&msg));
-            net.deliver(1);
-            black_box(at)
-        })
+fn bench_network() {
+    let mut net = Network::new(NetworkConfig::main_network());
+    let msg = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![0; 4]);
+    let mut t = 0;
+    bench("network_inject_deliver", || {
+        t += 100;
+        let at = net.inject(t, black_box(&msg));
+        net.deliver(1);
+        black_box(at);
     });
 }
 
-criterion_group!(
-    micro,
-    bench_event_queue,
-    bench_rng,
-    bench_nic,
-    bench_vbuf,
-    bench_network
-);
-criterion_main!(micro);
+fn main() {
+    bench_event_queue();
+    bench_rng();
+    bench_nic();
+    bench_vbuf();
+    bench_network();
+}

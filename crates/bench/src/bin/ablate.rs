@@ -11,18 +11,20 @@
 //! 3. **Gang scheduling quality** — the overflow-control premise that a
 //!    well-behaved application recovers from buffering if gang scheduled:
 //!    compares perfectly aligned vs. heavily skewed schedules.
+//! 4. **Revocation vs polling watchdog** — the §2 alternative policy.
 
-use fugu_bench::{machine, pct, run_synth, Opts, Table};
 use fugu_apps::{NullApp, SynthApp, SynthParams};
+use fugu_bench::{machine, parallel_map, pct, write_report, Json, Opts, Table};
 use udm::{CostModel, JobSpec, Machine, MachineConfig, NicConfig};
 
 fn main() {
     let opts = Opts::parse(4);
+    let mut points = Vec::new();
 
     // ------------------------------------------------------------------
     println!("Ablation 1 — atomicity timeout vs buffering (synth-100, T_betw = 275)");
-    let mut t = Table::new(&["timeout (cycles)", "% buffered", "revocations"]);
-    for timeout in [1_000u64, 4_000, 8_192, 32_000, 128_000] {
+    let timeouts = [1_000u64, 4_000, 8_192, 32_000, 128_000];
+    let results = parallel_map(opts.jobs, &timeouts, |&timeout| {
         let costs = CostModel {
             atomicity_timeout: timeout,
             ..CostModel::hard_atomicity()
@@ -40,19 +42,29 @@ fn main() {
         m.add_job(NullApp::spec());
         let r = m.run();
         let j = r.job("synth");
+        (j.buffered_fraction(), j.atomicity_timeouts)
+    });
+    let mut t = Table::new(&["timeout (cycles)", "% buffered", "revocations"]);
+    for (&timeout, &(frac, revocations)) in timeouts.iter().zip(&results) {
         t.row(vec![
             timeout.to_string(),
-            pct(j.buffered_fraction()),
-            j.atomicity_timeouts.to_string(),
+            pct(frac),
+            revocations.to_string(),
         ]);
+        points.push(Json::object([
+            ("section", Json::from("atomicity_timeout")),
+            ("timeout", Json::from(timeout)),
+            ("buffered_fraction", Json::from(frac)),
+            ("revocations", Json::from(revocations)),
+        ]));
     }
     t.print();
     println!();
 
     // ------------------------------------------------------------------
     println!("Ablation 2 — NIC input queue depth (synth-1000 burst, T_betw = 100)");
-    let mut t = Table::new(&["queue (msgs)", "% buffered", "end time (Mcycles)"]);
-    for depth in [1usize, 2, 4, 8, 16] {
+    let depths = [1usize, 2, 4, 8, 16];
+    let results = parallel_map(opts.jobs, &depths, |&depth| {
         let mut m = Machine::new(MachineConfig {
             nodes: opts.nodes,
             skew: 0.01,
@@ -74,30 +86,42 @@ fn main() {
         m.add_job(NullApp::spec());
         let r = m.run();
         let j = r.job("synth");
+        (j.buffered_fraction(), r.end_time)
+    });
+    let mut t = Table::new(&["queue (msgs)", "% buffered", "end time (Mcycles)"]);
+    for (&depth, &(frac, end_time)) in depths.iter().zip(&results) {
         t.row(vec![
             depth.to_string(),
-            pct(j.buffered_fraction()),
-            format!("{:.2}", r.end_time as f64 / 1e6),
+            pct(frac),
+            format!("{:.2}", end_time as f64 / 1e6),
         ]);
+        points.push(Json::object([
+            ("section", Json::from("nic_queue_depth")),
+            ("depth", Json::from(depth)),
+            ("buffered_fraction", Json::from(frac)),
+            ("end_time", Json::from(end_time)),
+        ]));
     }
     t.print();
     println!();
 
     // ------------------------------------------------------------------
     println!("Ablation 3 — schedule quality as recovery mechanism (synth-1000)");
-    let mut t = Table::new(&["skew", "% buffered", "peak pages/node"]);
-    for skew_pct in [0u32, 1, 5, 20, 40] {
-        let o = Opts {
-            quick: opts.quick,
-            ..opts
-        };
-        let r = run_synth_with_skew(1_000, 275, skew_pct as f64 / 100.0, o);
+    let skews = [0u32, 1, 5, 20, 40];
+    let results = parallel_map(opts.jobs, &skews, |&skew_pct| {
+        let r = run_synth_with_skew(1_000, 275, skew_pct as f64 / 100.0, &opts);
         let j = r.job("synth");
-        t.row(vec![
-            format!("{skew_pct}%"),
-            pct(j.buffered_fraction()),
-            r.peak_buffer_pages().to_string(),
-        ]);
+        (j.buffered_fraction(), r.peak_buffer_pages())
+    });
+    let mut t = Table::new(&["skew", "% buffered", "peak pages/node"]);
+    for (&skew_pct, &(frac, peak)) in skews.iter().zip(&results) {
+        t.row(vec![format!("{skew_pct}%"), pct(frac), peak.to_string()]);
+        points.push(Json::object([
+            ("section", Json::from("schedule_quality")),
+            ("skew", Json::from(skew_pct as f64 / 100.0)),
+            ("buffered_fraction", Json::from(frac)),
+            ("peak_pages", Json::from(peak)),
+        ]));
     }
     t.print();
     println!();
@@ -105,8 +129,8 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Ablation 4 — revocation (paper) vs polling watchdog (§2 alternative)");
     println!("(sluggish poller: polls every 20k cycles, timeout 8192)");
-    let mut t = Table::new(&["policy", "% buffered", "revocations", "watchdog fires", "end (Mcycles)"]);
-    for watchdog in [false, true] {
+    let policies = [false, true];
+    let results = parallel_map(opts.jobs, &policies, |&watchdog| {
         let mut m = Machine::new(MachineConfig {
             nodes: 2,
             polling_watchdog: watchdog,
@@ -120,16 +144,44 @@ fn main() {
         ));
         let r = m.run();
         let j = r.job("sluggish");
+        (
+            j.buffered_fraction(),
+            j.atomicity_timeouts,
+            j.watchdog_fires,
+            r.end_time,
+        )
+    });
+    let mut t = Table::new(&[
+        "policy",
+        "% buffered",
+        "revocations",
+        "watchdog fires",
+        "end (Mcycles)",
+    ]);
+    for (&watchdog, &(frac, revocations, fires, end_time)) in policies.iter().zip(&results) {
+        let policy = if watchdog {
+            "watchdog"
+        } else {
+            "revoke-to-buffered"
+        };
         t.row(vec![
-            if watchdog { "watchdog" } else { "revoke-to-buffered" }.into(),
-            pct(j.buffered_fraction()),
-            j.atomicity_timeouts.to_string(),
-            j.watchdog_fires.to_string(),
-            format!("{:.2}", r.end_time as f64 / 1e6),
+            policy.into(),
+            pct(frac),
+            revocations.to_string(),
+            fires.to_string(),
+            format!("{:.2}", end_time as f64 / 1e6),
         ]);
+        points.push(Json::object([
+            ("section", Json::from("watchdog_policy")),
+            ("policy", Json::from(policy)),
+            ("buffered_fraction", Json::from(frac)),
+            ("revocations", Json::from(revocations)),
+            ("watchdog_fires", Json::from(fires)),
+            ("end_time", Json::from(end_time)),
+        ]));
     }
     t.print();
-    let _ = run_synth; // shared helper used by fig9/fig10
+    write_report(&opts, "ablate", Json::array(points));
 }
 
 /// Node 1 holds atomicity and polls only every 20k cycles — far past the
@@ -171,7 +223,7 @@ impl udm::Program for SluggishPoller {
     }
 }
 
-fn run_synth_with_skew(group: u32, t_betw: u64, skew: f64, opts: Opts) -> udm::RunReport {
+fn run_synth_with_skew(group: u32, t_betw: u64, skew: f64, opts: &Opts) -> udm::RunReport {
     let mut m = machine(opts.nodes, skew, opts.seed, CostModel::hard_atomicity());
     m.add_job(SynthApp::spec(
         opts.nodes,

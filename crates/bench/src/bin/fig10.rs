@@ -9,7 +9,7 @@
 //! synth-1000 buffer moderately while the buffered path stays cheap and
 //! collapse into heavy buffering once its cost exceeds the send interval.
 
-use fugu_bench::{pct, run_synth, Opts, Table};
+use fugu_bench::{parallel_map, pct, run_synth, write_report, Json, Opts, Table};
 
 fn main() {
     let opts = Opts::parse(4);
@@ -27,22 +27,38 @@ fn main() {
     );
     println!();
 
+    let sweep: Vec<(u64, u32)> = extras
+        .iter()
+        .flat_map(|&extra| groups.iter().map(move |&g| (extra, g)))
+        .collect();
+    let results = parallel_map(opts.jobs, &sweep, |&(extra, g)| {
+        let mut frac = 0.0;
+        for trial in 0..opts.trials {
+            let r = run_synth(g, t_betw, extra, &opts, trial);
+            frac += r.job("synth").buffered_fraction();
+        }
+        eprintln!("  [added cost = {extra} synth-{g} done]");
+        frac / opts.trials as f64
+    });
+
     let mut headers: Vec<String> = vec!["added cost".into()];
     headers.extend(groups.iter().map(|g| format!("synth-{g}")));
     let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
-    for &extra in &extras {
+    let mut points = Vec::new();
+    for (i, &extra) in extras.iter().enumerate() {
         let mut row = vec![extra.to_string()];
-        for &g in &groups {
-            let mut frac = 0.0;
-            for trial in 0..opts.trials {
-                let r = run_synth(g, t_betw, extra, opts, trial);
-                frac += r.job("synth").buffered_fraction();
-            }
-            row.push(pct(frac / opts.trials as f64));
+        for (k, &g) in groups.iter().enumerate() {
+            let frac = results[i * groups.len() + k];
+            row.push(pct(frac));
+            points.push(Json::object([
+                ("added_cost", Json::from(extra)),
+                ("group", Json::from(g)),
+                ("buffered_fraction", Json::from(frac)),
+            ]));
         }
         t.row(row);
-        eprintln!("  [added cost = {extra} done]");
     }
     t.print();
+    write_report(&opts, "fig10", Json::array(points));
 }

@@ -7,7 +7,7 @@
 //! variants (large N) buffer heavily, while frequent synchronization
 //! (small N) "manually" clears the buffer and keeps the fraction small.
 
-use fugu_bench::{pct, run_synth, Opts, Table};
+use fugu_bench::{parallel_map, pct, run_synth, write_report, Json, Opts, Table};
 
 fn main() {
     let opts = Opts::parse(4);
@@ -24,22 +24,38 @@ fn main() {
     );
     println!();
 
+    let sweep: Vec<(u64, u32)> = t_betws
+        .iter()
+        .flat_map(|&tb| groups.iter().map(move |&g| (tb, g)))
+        .collect();
+    let results = parallel_map(opts.jobs, &sweep, |&(tb, g)| {
+        let mut frac = 0.0;
+        for trial in 0..opts.trials {
+            let r = run_synth(g, tb, 0, &opts, trial);
+            frac += r.job("synth").buffered_fraction();
+        }
+        eprintln!("  [T_betw = {tb} synth-{g} done]");
+        frac / opts.trials as f64
+    });
+
     let mut headers: Vec<String> = vec!["T_betw".into()];
     headers.extend(groups.iter().map(|g| format!("synth-{g}")));
     let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
-    for &tb in &t_betws {
+    let mut points = Vec::new();
+    for (i, &tb) in t_betws.iter().enumerate() {
         let mut row = vec![tb.to_string()];
-        for &g in &groups {
-            let mut frac = 0.0;
-            for trial in 0..opts.trials {
-                let r = run_synth(g, tb, 0, opts, trial);
-                frac += r.job("synth").buffered_fraction();
-            }
-            row.push(pct(frac / opts.trials as f64));
+        for (k, &g) in groups.iter().enumerate() {
+            let frac = results[i * groups.len() + k];
+            row.push(pct(frac));
+            points.push(Json::object([
+                ("t_betw", Json::from(tb)),
+                ("group", Json::from(g)),
+                ("buffered_fraction", Json::from(frac)),
+            ]));
         }
         t.row(row);
-        eprintln!("  [T_betw = {tb} done]");
     }
     t.print();
+    write_report(&opts, "fig9", Json::array(points));
 }

@@ -10,7 +10,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use fugu_bench::{Opts, Table};
+use fugu_bench::{write_report, Json, Opts, Table};
 use udm::{CostModel, Envelope, JobSpec, Machine, MachineConfig, Program, UserCtx};
 
 /// Node 0 sends `count` spaced null messages; node 1 computes and takes
@@ -86,12 +86,7 @@ fn main() {
     println!("Table 4 — cycle counts to send and receive a null message");
     println!("(paper: send 7; interrupt 54 / 87 / 115; polling 9)\n");
 
-    let mut t = Table::new(&[
-        "item",
-        "kernel mode",
-        "hard atomicity",
-        "soft atomicity",
-    ]);
+    let mut t = Table::new(&["item", "kernel mode", "hard atomicity", "soft atomicity"]);
     let models = [
         CostModel::kernel(),
         CostModel::hard_atomicity(),
@@ -108,18 +103,26 @@ fn main() {
     t.row(item("descriptor construction", &|m| m.send_descriptor));
     t.row(item("launch", &|m| m.send_launch));
     t.row(item("send total (model)", &|m| m.send_total(0)));
-    t.row(item("interrupt overhead", &|m| m.rx_interrupt.interrupt_overhead));
+    t.row(item("interrupt overhead", &|m| {
+        m.rx_interrupt.interrupt_overhead
+    }));
     t.row(item("register save", &|m| m.rx_interrupt.register_save));
     t.row(item("GID check", &|m| m.rx_interrupt.gid_check));
     t.row(item("timer setup", &|m| m.rx_interrupt.timer_setup));
-    t.row(item("virtual buffering overhead", &|m| m.rx_interrupt.vbuf_overhead));
+    t.row(item("virtual buffering overhead", &|m| {
+        m.rx_interrupt.vbuf_overhead
+    }));
     t.row(item("dispatch (+ upcall)", &|m| m.rx_interrupt.dispatch));
     t.row(item("subtotal", &|m| m.rx_interrupt.pre()));
     t.row(item("null handler (w/dispose)", &|m| m.null_handler));
     t.row(item("upcall cleanup", &|m| m.rx_interrupt.upcall_cleanup));
     t.row(item("timer cleanup", &|m| m.rx_interrupt.timer_cleanup));
-    t.row(item("register restore", &|m| m.rx_interrupt.register_restore));
-    t.row(item("interrupt total (model)", &|m| m.rx_interrupt_total(0)));
+    t.row(item("register restore", &|m| {
+        m.rx_interrupt.register_restore
+    }));
+    t.row(item("interrupt total (model)", &|m| {
+        m.rx_interrupt_total(0)
+    }));
     t.row(item("polling total (model)", &|m| m.poll_total(0)));
 
     // Measured rows from simulated runs.
@@ -138,7 +141,10 @@ fn main() {
             seed: opts.seed,
             ..Default::default()
         });
-        m.add_job(JobSpec::new("probe", Arc::clone(&probe) as Arc<dyn Program>));
+        m.add_job(JobSpec::new(
+            "probe",
+            Arc::clone(&probe) as Arc<dyn Program>,
+        ));
         let r = m.run();
         send_measured.push(mean(&probe.send_cycles.lock().unwrap()));
         int_measured.push(r.job("probe").handler_cycles.mean());
@@ -176,4 +182,21 @@ fn main() {
         format!("{:.0}", poll_measured[2]),
     ]);
     t.print();
+
+    let mut points = Vec::new();
+    for (i, name) in ["kernel", "hard", "soft"].iter().enumerate() {
+        points.push(Json::object([
+            ("atomicity", Json::from(*name)),
+            ("send_model", Json::from(models[i].send_total(0))),
+            (
+                "interrupt_model",
+                Json::from(models[i].rx_interrupt_total(0)),
+            ),
+            ("poll_model", Json::from(models[i].poll_total(0))),
+            ("send_measured", Json::from(send_measured[i])),
+            ("interrupt_measured", Json::from(int_measured[i])),
+            ("poll_measured", Json::from(poll_measured[i])),
+        ]));
+    }
+    write_report(&opts, "table4", Json::array(points));
 }

@@ -9,7 +9,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use fugu_bench::{Opts, Table};
+use fugu_bench::{write_report, Json, Opts, Table};
 use udm::{CostModel, Envelope, JobSpec, Machine, MachineConfig, Program, UserCtx};
 
 struct BufferedProbe {
@@ -79,15 +79,17 @@ fn main() {
         seed: opts.seed,
         ..Default::default()
     });
-    m.add_job(JobSpec::new("probe", Arc::clone(&probe) as Arc<dyn Program>));
+    m.add_job(JobSpec::new(
+        "probe",
+        Arc::clone(&probe) as Arc<dyn Program>,
+    ));
     let r = m.run();
     let j = r.job("probe");
     let drain = probe.drain_cycles.lock().unwrap();
     // The measured poll includes the 3-cycle poll check on top of the
     // 52-cycle buffered extraction.
     let poll_check = costs.poll_check as f64;
-    let extract =
-        drain.iter().sum::<u64>() as f64 / drain.len().max(1) as f64 - poll_check;
+    let extract = drain.iter().sum::<u64>() as f64 / drain.len().max(1) as f64 - poll_check;
     table.row(vec![
         "execute null handler from buffer".into(),
         costs.buf_extract_null.to_string(),
@@ -113,5 +115,23 @@ fn main() {
     println!(
         "per-word extraction (model): +{} cycles per 2 payload words",
         costs.buf_extract_per_2words
+    );
+
+    write_report(
+        &opts,
+        "table5",
+        Json::array([Json::object([
+            ("insert_min_model", Json::from(costs.buf_insert_min)),
+            ("insert_vmalloc_model", Json::from(costs.buf_insert_vmalloc)),
+            ("extract_null_model", Json::from(costs.buf_extract_null)),
+            ("extract_measured", Json::from(extract)),
+            ("total_null_model", Json::from(costs.buffered_total_null())),
+            ("delivered_buffered", Json::from(j.delivered_buffered)),
+            ("sent", Json::from(j.sent)),
+            ("revocations", Json::from(j.atomicity_timeouts)),
+            ("vmallocs", Json::from(r.nodes[1].vmallocs)),
+            ("vbuf_inserts", Json::from(r.nodes[1].vbuf_inserts)),
+            ("peak_pages", Json::from(r.peak_buffer_pages())),
+        ])]),
     );
 }

@@ -6,13 +6,35 @@
 //! message counts are smaller while the per-application ordering and the
 //! `T_betw`/`T_hand` regimes should match.
 
-use fugu_bench::{run_standalone, AppKind, Opts, Table};
+use fugu_bench::{parallel_map, run_standalone, write_report, AppKind, Json, Opts, Table};
 
 fn main() {
     let opts = Opts::parse(8);
 
-    println!("Table 6 — application characteristics (standalone, {} nodes)", opts.nodes);
+    println!(
+        "Table 6 — application characteristics (standalone, {} nodes)",
+        opts.nodes
+    );
     println!();
+
+    let results = parallel_map(opts.jobs, &AppKind::ALL, |&kind| {
+        let mut cycles = 0.0;
+        let mut msgs = 0.0;
+        let mut t_hand = 0.0;
+        for trial in 0..opts.trials {
+            let r = run_standalone(kind, &opts, trial);
+            let j = r.job(kind.name());
+            cycles += j.completion.expect("foreground job completes") as f64;
+            msgs += j.sent as f64;
+            t_hand += j.handler_cycles.mean();
+        }
+        eprintln!("  [{} done]", kind.name());
+        (
+            cycles / opts.trials as f64,
+            msgs / opts.trials as f64,
+            t_hand / opts.trials as f64,
+        )
+    });
 
     let mut t = Table::new(&[
         "app",
@@ -25,20 +47,8 @@ fn main() {
         "paper T_betw",
         "paper T_hand",
     ]);
-    for kind in AppKind::ALL {
-        let mut cycles = 0.0;
-        let mut msgs = 0.0;
-        let mut t_hand = 0.0;
-        for trial in 0..opts.trials {
-            let r = run_standalone(kind, opts, trial);
-            let j = r.job(kind.name());
-            cycles += j.completion.expect("foreground job completes") as f64;
-            msgs += j.sent as f64;
-            t_hand += j.handler_cycles.mean();
-        }
-        cycles /= opts.trials as f64;
-        msgs /= opts.trials as f64;
-        t_hand /= opts.trials as f64;
+    let mut points = Vec::new();
+    for (kind, &(cycles, msgs, t_hand)) in AppKind::ALL.iter().zip(&results) {
         let t_betw = cycles * opts.nodes as f64 / msgs.max(1.0);
         let (pc, pm, pb, ph) = kind.paper_row();
         t.row(vec![
@@ -52,6 +62,18 @@ fn main() {
             format!("{pb:.0}"),
             format!("{ph:.0}"),
         ]);
+        points.push(Json::object([
+            ("app", Json::from(kind.name())),
+            ("cycles", Json::from(cycles)),
+            ("messages", Json::from(msgs)),
+            ("t_betw", Json::from(t_betw)),
+            ("t_hand", Json::from(t_hand)),
+            ("paper_cycles", Json::from(pc)),
+            ("paper_messages", Json::from(pm)),
+            ("paper_t_betw", Json::from(pb)),
+            ("paper_t_hand", Json::from(ph)),
+        ]));
     }
     t.print();
+    write_report(&opts, "table6", Json::array(points));
 }

@@ -13,20 +13,44 @@
 //! | `fig10`  | Fig. 10: % buffered vs buffered-path cost | `... --bin fig10` |
 //! | `ablate` | design-choice ablations from DESIGN.md §6 | `... --bin ablate` |
 //!
-//! Every binary accepts `--quick` (smaller data sets), `--nodes N` and
-//! `--seed S`. Data-set scaling versus the paper is recorded in
-//! EXPERIMENTS.md.
+//! # Command-line flags
+//!
+//! Every binary accepts the same flag set:
+//!
+//! | flag | default | effect |
+//! |------|---------|--------|
+//! | `--quick` | off | reduced data sets for smoke runs |
+//! | `--nodes N` | per-binary (8 for apps, 4 for synth, 2 for tables) | machine size |
+//! | `--seed S` | `0xF00D` | base seed; trial `t` runs with seed `S + t` |
+//! | `--trials K` | 1 | trials averaged per data point (paper: 3) |
+//! | `--jobs J` | 1 | host threads sweeping data points in parallel |
+//! | `--json PATH` | off | write the data points as schema-versioned JSON |
+//! | `--help` | — | print usage and exit |
+//!
+//! `--jobs` only changes host-side wall-clock: every data point runs its
+//! own deterministic simulation, results are reassembled in sweep order,
+//! and the JSON output is byte-identical whatever `J` is (neither `--jobs`
+//! nor `--json` is echoed into the report). Unknown options print usage
+//! and exit with status 2. Data-set scaling versus the paper is recorded
+//! in EXPERIMENTS.md; the JSON schema is documented in
+//! docs/OBSERVABILITY.md.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use fugu_apps::{
     BarnesApp, BarnesParams, BarrierApp, BarrierParams, EnumApp, EnumParams, LuApp, LuParams,
     NullApp, SynthApp, SynthParams, WaterApp, WaterParams,
 };
+pub use fugu_sim::json::Json;
 use udm::{CostModel, Cycles, JobSpec, Machine, MachineConfig, Program, RunReport};
 
+/// Schema identifier stamped into every `--json` report.
+pub const BENCH_SCHEMA: &str = "fugu-bench/v1";
+
 /// Common command-line options for all harness binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Opts {
     /// Reduced data sets for smoke runs.
     pub quick: bool,
@@ -36,40 +60,165 @@ pub struct Opts {
     pub seed: u64,
     /// Trials averaged per data point (paper: 3).
     pub trials: u32,
+    /// Host threads sweeping data points in parallel (default 1). Affects
+    /// wall-clock only, never results.
+    pub jobs: usize,
+    /// Write the harness's data points to this path as JSON
+    /// ([`BENCH_SCHEMA`]).
+    pub json: Option<PathBuf>,
 }
 
+/// One line per flag; printed on `--help` and on a parse error.
+pub const USAGE: &str = "\
+options:
+  --quick        reduced data sets for smoke runs
+  --nodes N      machine size (default varies per binary)
+  --seed S       base seed (default 0xF00D = 61453)
+  --trials K     trials averaged per data point (default 1)
+  --jobs J       host threads sweeping data points in parallel (default 1)
+  --json PATH    write data points as JSON (schema fugu-bench/v1)
+  --help         print this help";
+
 impl Opts {
-    /// Parses `--quick`, `--nodes N`, `--seed S`, `--trials K` from argv.
-    pub fn parse(default_nodes: usize) -> Opts {
+    /// Parses the flag set from explicit arguments (everything after
+    /// `argv[0]`). Returns an error message naming the offending flag on
+    /// unknown options, missing values, or unparsable numbers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fugu_bench::Opts;
+    ///
+    /// let args = ["--quick", "--nodes", "4", "--jobs", "2"];
+    /// let opts = Opts::try_parse(8, args.iter().map(|s| s.to_string())).unwrap();
+    /// assert!(opts.quick);
+    /// assert_eq!(opts.nodes, 4);
+    /// assert_eq!(opts.jobs, 2);
+    /// assert!(Opts::try_parse(8, ["--bogus".to_string()]).is_err());
+    /// ```
+    pub fn try_parse(
+        default_nodes: usize,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Opts, String> {
         let mut opts = Opts {
             quick: false,
             nodes: default_nodes,
             seed: 0xF00D,
             trials: 1,
+            jobs: 1,
+            json: None,
         };
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--quick" => opts.quick = true,
-                "--nodes" => {
-                    i += 1;
-                    opts.nodes = args[i].parse().expect("--nodes wants an integer");
-                }
-                "--seed" => {
-                    i += 1;
-                    opts.seed = args[i].parse().expect("--seed wants an integer");
-                }
-                "--trials" => {
-                    i += 1;
-                    opts.trials = args[i].parse().expect("--trials wants an integer");
-                }
-                other => panic!("unknown option {other} (try --quick / --nodes / --seed / --trials)"),
-            }
-            i += 1;
+        let mut args = args.into_iter();
+        fn value<T: std::str::FromStr>(
+            flag: &str,
+            args: &mut impl Iterator<Item = String>,
+        ) -> Result<T, String> {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{flag} wants an integer"))
         }
-        opts
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--nodes" => opts.nodes = value("--nodes", &mut args)?,
+                "--seed" => opts.seed = value("--seed", &mut args)?,
+                "--trials" => opts.trials = value("--trials", &mut args)?,
+                "--jobs" => opts.jobs = value("--jobs", &mut args)?,
+                "--json" => {
+                    opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+                }
+                "--help" => return Err("help".to_string()),
+                other => return Err(format!("unknown option {other}")),
+            }
+        }
+        Ok(opts)
     }
+
+    /// Parses argv. On `--help` prints usage and exits 0; on any parse
+    /// error prints the error plus usage to stderr and exits 2.
+    pub fn parse(default_nodes: usize) -> Opts {
+        match Opts::try_parse(default_nodes, std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(e) if e == "help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Applies `f` to every item, fanning out over `jobs` host threads
+/// (`--jobs`). Results come back in item order regardless of which thread
+/// finished first, so output built from them is independent of `jobs`.
+/// With `jobs <= 1` this is a plain sequential map. A panic in any worker
+/// propagates.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("scoped worker completed every item"))
+        .collect()
+}
+
+/// Writes the harness's data points to `opts.json` (no-op when the flag
+/// was not given). The document carries [`BENCH_SCHEMA`], the binary name,
+/// and the result-affecting options — deliberately *not* `--jobs` or the
+/// output path, so reports are byte-identical across host parallelism.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_report(opts: &Opts, binary: &str, points: Json) {
+    let Some(path) = &opts.json else { return };
+    let doc = Json::object([
+        ("schema", Json::from(BENCH_SCHEMA)),
+        ("binary", Json::from(binary)),
+        ("quick", Json::from(opts.quick)),
+        ("nodes", Json::from(opts.nodes)),
+        ("seed", Json::from(opts.seed)),
+        ("trials", Json::from(opts.trials)),
+        ("points", points),
+    ]);
+    std::fs::write(path, doc.render_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
 }
 
 /// The five applications of Table 6.
@@ -190,7 +339,7 @@ pub fn machine(nodes: usize, skew: f64, seed: u64, costs: CostModel) -> Machine 
 }
 
 /// Runs one application standalone (Table 6 conditions).
-pub fn run_standalone(kind: AppKind, opts: Opts, trial: u32) -> RunReport {
+pub fn run_standalone(kind: AppKind, opts: &Opts, trial: u32) -> RunReport {
     let mut m = machine(
         opts.nodes,
         0.0,
@@ -216,7 +365,7 @@ pub fn multiprogram_costs() -> CostModel {
 
 /// Runs one application multiprogrammed against the null application at the
 /// given skew (Fig. 7/8 conditions).
-pub fn run_vs_null(kind: AppKind, skew: f64, opts: Opts, trial: u32) -> RunReport {
+pub fn run_vs_null(kind: AppKind, skew: f64, opts: &Opts, trial: u32) -> RunReport {
     let mut m = machine(
         opts.nodes,
         skew,
@@ -234,7 +383,7 @@ pub fn run_synth(
     group: u32,
     t_betw: Cycles,
     extra_buffer_cost: Cycles,
-    opts: Opts,
+    opts: &Opts,
     trial: u32,
 ) -> RunReport {
     let costs = CostModel {
@@ -303,7 +452,10 @@ impl Table {
             println!("{out}");
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             line(row);
         }

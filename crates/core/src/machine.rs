@@ -31,24 +31,11 @@ use fugu_net::{Gid, Message, Network, NodeId};
 use fugu_nic::{HeadDisposition, Mode, Nic, UacMask};
 use fugu_sim::coro::{CoEvent, CoId, CoRuntime};
 use fugu_sim::event::{EventId, EventQueue};
-use fugu_sim::stats::Accum;
+use fugu_sim::stats::{Accum, Histogram, MetricsRegistry};
+use fugu_sim::trace::{CategoryMask, TraceEvent, Tracer};
 use fugu_sim::Cycles;
 
 use crate::config::{JobSpec, MachineConfig};
-
-/// Env-gated debug tracing (FUGU_TRACE_ARRIVE / FUGU_TRACE_INSERT /
-/// FUGU_TRACE_MODE), checked once per process so the hot paths stay cheap.
-fn trace_enabled(name: &'static str) -> bool {
-    use std::collections::HashMap;
-    use std::sync::OnceLock;
-    static FLAGS: OnceLock<HashMap<&'static str, bool>> = OnceLock::new();
-    FLAGS.get_or_init(|| {
-        ["FUGU_TRACE_ARRIVE", "FUGU_TRACE_INSERT", "FUGU_TRACE_MODE"]
-            .into_iter()
-            .map(|k| (k, std::env::var_os(k).is_some()))
-            .collect()
-    })[name]
-}
 use crate::report::{JobReport, NodeReport, RunReport};
 use crate::user::{CtxKind, Envelope, SimCall, SimResp, UserCtx};
 
@@ -58,7 +45,11 @@ enum Ev {
     /// A message reaches a node's network interface.
     Arrive { node: NodeId, msg: Message },
     /// A thread's `compute` block completes.
-    AdvanceDone { node: NodeId, job: usize, which: Which },
+    AdvanceDone {
+        node: NodeId,
+        job: usize,
+        which: Which,
+    },
     /// The atomicity timer on a node expired: revoke interrupt disable.
     AtomTimeout { node: NodeId },
     /// Gang-scheduler quantum boundary on a node.
@@ -178,6 +169,7 @@ struct JobState {
     page_faults: u64,
     suspensions: u64,
     handler_cycles: Accum,
+    handler_hist: Histogram,
 }
 
 /// A simulated FUGU multicomputer.
@@ -225,6 +217,7 @@ pub struct Machine {
     jobs: Vec<JobState>,
     nodes: Vec<NodeState>,
     foreground_remaining: usize,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Machine {
@@ -246,18 +239,25 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         assert!(cfg.nodes > 0, "machine needs at least one node");
         let swap_cost = cfg.page_swap_cost();
+        let tracer = Tracer::from_env();
         let nodes = (0..cfg.nodes)
-            .map(|_| NodeState {
-                nic: Nic::new(cfg.nic),
-                free_at: 0,
-                cur_job: 0,
-                backlog: VecDeque::new(),
-                timer_ev: None,
-                active: None,
-                procs: Vec::new(),
-                frames: FrameAllocator::new(cfg.costs.frames_per_node),
-                overflow: OverflowControl::new(cfg.overflow_advise, cfg.overflow_suspend),
-                report: NodeReport::default(),
+            .map(|n| {
+                let mut node = NodeState {
+                    nic: Nic::new(cfg.nic),
+                    free_at: 0,
+                    cur_job: 0,
+                    backlog: VecDeque::new(),
+                    timer_ev: None,
+                    active: None,
+                    procs: Vec::new(),
+                    frames: FrameAllocator::new(cfg.costs.frames_per_node),
+                    overflow: OverflowControl::new(cfg.overflow_advise, cfg.overflow_suspend),
+                    report: NodeReport::default(),
+                };
+                node.nic.attach_tracer(tracer.clone(), n);
+                node.frames.attach_tracer(tracer.clone(), n);
+                node.overflow.attach_tracer(tracer.clone(), n);
+                node
             })
             .collect();
         let net = Network::new(cfg.net);
@@ -271,7 +271,28 @@ impl Machine {
             jobs: Vec::new(),
             nodes,
             foreground_remaining: 0,
+            tracer,
         }
+    }
+
+    /// Replaces the machine's [`Tracer`] (by default built from the
+    /// `FUGU_TRACE*` environment, see [`Tracer::from_env`]) and re-attaches
+    /// it to every node's NIC, frame allocator and overflow controller.
+    /// Call before [`Machine::run`]; typically with
+    /// [`Tracer::recorder`](fugu_sim::trace::Tracer::recorder) to capture
+    /// the event stream in tests, or with a subscriber installed.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            node.nic.attach_tracer(self.tracer.clone(), n);
+            node.frames.attach_tracer(self.tracer.clone(), n);
+            node.overflow.attach_tracer(self.tracer.clone(), n);
+        }
+    }
+
+    /// The machine's trace sink (shared with every node's components).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Adds a gang-scheduled job (one process per node). Jobs are assigned
@@ -340,6 +361,7 @@ impl Machine {
             page_faults: 0,
             suspensions: 0,
             handler_cycles: Accum::new(),
+            handler_hist: Histogram::exponential(24),
         });
         job
     }
@@ -394,6 +416,7 @@ impl Machine {
                 "simulation exceeded max_cycles = {}",
                 self.cfg.max_cycles
             );
+            self.tracer.set_time(t);
             match ev {
                 Ev::Arrive { node, msg } => self.on_arrive(node, msg),
                 Ev::AdvanceDone { node, job, which } => self.on_advance_done(node, job, which),
@@ -409,17 +432,8 @@ impl Machine {
     // ==================================================================
 
     fn on_arrive(&mut self, n: NodeId, msg: Message) {
-        if trace_enabled("FUGU_TRACE_ARRIVE") && n == 0 {
-            eprintln!(
-                "ARRIVE t={} node={} qlen={} backlog={} active={:?} free_at={}",
-                self.queue.now(),
-                n,
-                self.nodes[n].nic.queue_len(),
-                self.nodes[n].backlog.len(),
-                self.nodes[n].active,
-                self.nodes[n].free_at,
-            );
-        }
+        // The NIC emits `TraceEvent::MsgArrive` when the message enters its
+        // queue; backlogged messages are traced on admission, not here.
         let node = &mut self.nodes[n];
         if node.backlog.is_empty() && !node.nic.queue_full() {
             node.nic.enqueue(msg).expect("queue_full was checked");
@@ -467,6 +481,11 @@ impl Machine {
                 && !self.nodes[n].procs[j].in_upcall;
             if can_force {
                 self.jobs[j].watchdog_fires += 1;
+                self.tracer
+                    .emit_with(CategoryMask::ATOMICITY, || TraceEvent::WatchdogFire {
+                        node: n,
+                        job: j,
+                    });
                 self.preempt_active(n);
                 self.dispatch_upcall(n, j);
                 self.schedule_node(n);
@@ -474,6 +493,11 @@ impl Machine {
             }
         }
         self.jobs[j].timeouts += 1;
+        self.tracer
+            .emit_with(CategoryMask::ATOMICITY, || TraceEvent::AtomicityRevoke {
+                node: n,
+                job: j,
+            });
         self.enter_buffered(n, j);
         self.schedule_node(n);
     }
@@ -488,6 +512,13 @@ impl Machine {
         };
         self.queue.schedule(next, Ev::Quantum { node: n });
 
+        let prev_job = self.nodes[n].cur_job;
+        self.tracer
+            .emit_with(CategoryMask::SCHED, || TraceEvent::QuantumSwitch {
+                node: n,
+                from_job: Some(prev_job),
+                to_job: Some(new_job),
+            });
         let node = &mut self.nodes[n];
         node.free_at = node.free_at.max(t) + self.cfg.costs.context_switch;
         node.report.quantum_switches += 1;
@@ -555,11 +586,9 @@ impl Machine {
             //    been handled.
             {
                 let proc = &self.nodes[n].procs[j];
-                if proc.mode == DeliveryMode::Buffered && proc.vbuf.is_empty() && !proc.in_upcall
-                {
-                    if trace_enabled("FUGU_TRACE_MODE") {
-                        eprintln!("EXIT t={} node={} job={}", self.queue.now(), n, j);
-                    }
+                if proc.mode == DeliveryMode::Buffered && proc.vbuf.is_empty() && !proc.in_upcall {
+                    self.tracer
+                        .emit_with(CategoryMask::MODE, || TraceEvent::ModeExit { node: n });
                     self.nodes[n].procs[j].mode = DeliveryMode::Fast;
                     self.nodes[n].nic.set_divert(false);
                     continue;
@@ -593,8 +622,7 @@ impl Machine {
                     self.run_burst(n, j, Which::Handler, resp);
                     continue;
                 }
-                if let TState::PausedCompute { remaining } = self.nodes[n].procs[j].handler.state
-                {
+                if let TState::PausedCompute { remaining } = self.nodes[n].procs[j].handler.state {
                     self.resume_compute(n, j, Which::Handler, remaining);
                     break;
                 }
@@ -638,9 +666,14 @@ impl Machine {
         let start = node.free_at.max(now);
         let until = start + remaining;
         node.free_at = until;
-        let event = self
-            .queue
-            .schedule(until, Ev::AdvanceDone { node: n, job: j, which });
+        let event = self.queue.schedule(
+            until,
+            Ev::AdvanceDone {
+                node: n,
+                job: j,
+                which,
+            },
+        );
         slot_mut(&mut self.nodes[n].procs[j], which).state = TState::ActiveCompute {
             start,
             until,
@@ -661,7 +694,11 @@ impl Machine {
         let node = &mut self.nodes[n];
         let slot = slot_mut(&mut node.procs[j], w);
         match slot.state {
-            TState::ActiveCompute { start, until, event } => {
+            TState::ActiveCompute {
+                start,
+                until,
+                event,
+            } => {
                 self.queue.cancel(event);
                 let p = t.clamp(start, until);
                 slot.state = TState::PausedCompute {
@@ -681,22 +718,15 @@ impl Machine {
     /// process's virtual buffer (Table 5 costs; §4.2).
     fn kernel_insert(&mut self, n: NodeId) {
         let now = self.queue.now();
-        let msg = self.nodes[n].nic.kernel_extract().expect("head was present");
+        let msg = self.nodes[n]
+            .nic
+            .kernel_extract()
+            .expect("head was present");
         let j = (msg.gid().raw() as usize)
             .checked_sub(1)
             .filter(|&j| j < self.jobs.len())
             .unwrap_or_else(|| panic!("message with unknown {} arrived", msg.gid()));
-        if trace_enabled("FUGU_TRACE_INSERT") {
-            eprintln!(
-                "INSERT t={} node={} msg_gid={} cur_job={} divert={} qlen={}",
-                now,
-                n,
-                msg.gid().raw(),
-                self.nodes[n].cur_job,
-                self.nodes[n].nic.divert_mode(),
-                self.nodes[n].nic.queue_len(),
-            );
-        }
+        let words = msg.payload().len();
         let mut swapped = false;
         let cost;
         {
@@ -729,6 +759,13 @@ impl Machine {
             self.jobs[j].swapped += 1;
         }
         self.jobs[j].buffered += 1;
+        self.tracer
+            .emit_with(CategoryMask::BUFFER, || TraceEvent::BufferInsert {
+                node: n,
+                job: j,
+                words,
+                swapped,
+            });
         self.enter_buffered(n, j);
         // Overflow control watches the free-frame count at every insert.
         let free = self.nodes[n].frames.free();
@@ -803,6 +840,12 @@ impl Machine {
         proc.upcall_kind = UpcallKind::Interrupt;
         proc.upcall_start = t;
         self.jobs[j].fast += 1;
+        self.tracer
+            .emit_with(CategoryMask::UPCALL, || TraceEvent::FastUpcall {
+                node: n,
+                job: j,
+                words: env.payload.len(),
+            });
         self.reset_timer(n);
         self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
     }
@@ -813,12 +856,14 @@ impl Machine {
         let now = self.queue.now();
         let env;
         let t;
+        let swapped;
         {
             let node = &mut self.nodes[n];
             let frames = &mut node.frames;
             let proc = &mut node.procs[j];
             let (msg, was_swapped) = proc.vbuf.pop(frames).expect("vbuf nonempty");
             let words = msg.payload().len();
+            swapped = was_swapped;
             t = node.free_at.max(now);
             let mut cost = self.cfg.costs.buf_extract_total(words);
             if was_swapped {
@@ -834,6 +879,13 @@ impl Machine {
                 payload: msg.payload().to_vec(),
             };
         }
+        self.tracer
+            .emit_with(CategoryMask::BUFFER, || TraceEvent::BufferExtract {
+                node: n,
+                job: j,
+                words: env.payload.len(),
+                swapped,
+            });
         self.maybe_unsuspend(n, j);
         self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
     }
@@ -842,8 +894,9 @@ impl Machine {
     /// exceptional conditions, §4.2 "Buffering Mechanics").
     fn enter_buffered(&mut self, n: NodeId, j: usize) {
         let node = &mut self.nodes[n];
-        if trace_enabled("FUGU_TRACE_MODE") && node.procs[j].mode != DeliveryMode::Buffered {
-            eprintln!("ENTER t={} node={} job={}", self.queue.now(), n, j);
+        if node.procs[j].mode != DeliveryMode::Buffered {
+            self.tracer
+                .emit_with(CategoryMask::MODE, || TraceEvent::ModeEnter { node: n });
         }
         node.procs[j].mode = DeliveryMode::Buffered;
         if node.cur_job == j {
@@ -928,9 +981,14 @@ impl Machine {
                 let start = node.free_at;
                 let until = start + c;
                 node.free_at = until;
-                let event = self
-                    .queue
-                    .schedule(until, Ev::AdvanceDone { node: n, job: j, which });
+                let event = self.queue.schedule(
+                    until,
+                    Ev::AdvanceDone {
+                        node: n,
+                        job: j,
+                        which,
+                    },
+                );
                 slot_mut(&mut node.procs[j], which).state = TState::ActiveCompute {
                     start,
                     until,
@@ -940,12 +998,20 @@ impl Machine {
                 None
             }
 
-            SimCall::Send { dst, handler, payload } => {
+            SimCall::Send {
+                dst,
+                handler,
+                payload,
+            } => {
                 self.do_send(n, j, dst, handler, payload);
                 Some(SimResp::Ok)
             }
 
-            SimCall::TrySend { dst, handler, payload } => {
+            SimCall::TrySend {
+                dst,
+                handler,
+                payload,
+            } => {
                 // `injectc`: refuse instead of blocking when the fabric
                 // toward the destination is congested.
                 let congested = self.net.in_flight(dst)
@@ -1044,6 +1110,12 @@ impl Machine {
                     // buffered mode so the network is not blocked while the
                     // fault is serviced (§4.3).
                     self.jobs[j].page_faults += 1;
+                    self.tracer
+                        .emit_with(CategoryMask::VM, || TraceEvent::PageFault {
+                            node: n,
+                            job: j,
+                            page: page as usize,
+                        });
                     let node = &mut self.nodes[n];
                     node.free_at += self.cfg.costs.page_fault;
                     if node.frames.allocate().is_err() {
@@ -1106,9 +1178,21 @@ impl Machine {
             .expect("user GIDs are never the kernel GID")
             .expect("descriptor was just written");
         let arrival = self.net.inject(node.free_at, &stamped);
-        self.queue
-            .schedule(arrival, Ev::Arrive { node: dst, msg: stamped });
+        self.queue.schedule(
+            arrival,
+            Ev::Arrive {
+                node: dst,
+                msg: stamped,
+            },
+        );
         self.jobs[j].sent += 1;
+        self.tracer
+            .emit_with(CategoryMask::MSG, || TraceEvent::MsgLaunch {
+                node: n,
+                job: j,
+                dst,
+                words,
+            });
     }
 
     /// `extract` against whichever delivery case is active — the essence of
@@ -1122,12 +1206,14 @@ impl Machine {
         };
         if via_buffer {
             // Transparent: the base register points at the software buffer.
+            let swapped;
             let env = {
                 let node = &mut self.nodes[n];
                 let frames = &mut node.frames;
                 let proc = &mut node.procs[j];
                 let (msg, was_swapped) = proc.vbuf.pop(frames)?;
                 let words = msg.payload().len();
+                swapped = was_swapped;
                 let mut cost = self.cfg.costs.buf_extract_total(words);
                 if was_swapped {
                     cost += self.swap_cost;
@@ -1139,6 +1225,13 @@ impl Machine {
                     payload: msg.payload().to_vec(),
                 }
             };
+            self.tracer
+                .emit_with(CategoryMask::BUFFER, || TraceEvent::BufferExtract {
+                    node: n,
+                    job: j,
+                    words: env.payload.len(),
+                    swapped,
+                });
             self.maybe_unsuspend(n, j);
             Some(env)
         } else {
@@ -1157,6 +1250,12 @@ impl Machine {
                 }
             };
             self.jobs[j].fast += 1;
+            self.tracer
+                .emit_with(CategoryMask::UPCALL, || TraceEvent::PollDelivery {
+                    node: n,
+                    job: j,
+                    words: env.payload.len(),
+                });
             self.reset_timer(n);
             Some(env)
         }
@@ -1172,6 +1271,7 @@ impl Machine {
         if via_buffer {
             let env;
             let t;
+            let swapped;
             {
                 let node = &mut self.nodes[n];
                 let frames = &mut node.frames;
@@ -1179,6 +1279,7 @@ impl Machine {
                 let Some((msg, was_swapped)) = proc.vbuf.pop(frames) else {
                     return PollOutcome::Empty;
                 };
+                swapped = was_swapped;
                 let words = msg.payload().len();
                 t = node.free_at;
                 let mut cost = self.cfg.costs.buf_extract_total(words);
@@ -1199,6 +1300,13 @@ impl Machine {
                     payload: msg.payload().to_vec(),
                 };
             }
+            self.tracer
+                .emit_with(CategoryMask::BUFFER, || TraceEvent::BufferExtract {
+                    node: n,
+                    job: j,
+                    words: env.payload.len(),
+                    swapped,
+                });
             self.maybe_unsuspend(n, j);
             self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
             PollOutcome::Dispatched
@@ -1231,6 +1339,12 @@ impl Machine {
                 };
             }
             self.jobs[j].fast += 1;
+            self.tracer
+                .emit_with(CategoryMask::UPCALL, || TraceEvent::PollDelivery {
+                    node: n,
+                    job: j,
+                    words: env.payload.len(),
+                });
             self.reset_timer(n);
             self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
             PollOutcome::Dispatched
@@ -1251,6 +1365,7 @@ impl Machine {
         }
         let elapsed = self.nodes[n].free_at.saturating_sub(start);
         self.jobs[j].handler_cycles.push(elapsed as f64);
+        self.jobs[j].handler_hist.record(elapsed);
         {
             let node = &mut self.nodes[n];
             let user_atomic = node.procs[j].atomic;
@@ -1317,6 +1432,59 @@ impl Machine {
         for n in &mut self.nodes {
             n.report.peak_frames = n.report.peak_frames.max(n.frames.peak_used());
         }
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter("machine.end_time").add(self.queue.now());
+        for j in &self.jobs {
+            let pre = format!("job.{}", j.spec.name);
+            metrics.counter(&format!("{pre}.sent")).add(j.sent);
+            metrics
+                .counter(&format!("{pre}.delivered_fast"))
+                .add(j.fast);
+            metrics
+                .counter(&format!("{pre}.delivered_buffered"))
+                .add(j.buffered);
+            metrics.counter(&format!("{pre}.swapped")).add(j.swapped);
+            metrics
+                .counter(&format!("{pre}.atomicity_timeouts"))
+                .add(j.timeouts);
+            metrics
+                .counter(&format!("{pre}.watchdog_fires"))
+                .add(j.watchdog_fires);
+            metrics
+                .counter(&format!("{pre}.page_faults"))
+                .add(j.page_faults);
+            metrics
+                .counter(&format!("{pre}.overflow_suspensions"))
+                .add(j.suspensions);
+            metrics
+                .accum(&format!("{pre}.handler_cycles"))
+                .merge(&j.handler_cycles);
+            metrics
+                .histogram_with(&format!("{pre}.handler_cycles_hist"), || {
+                    Histogram::exponential(24)
+                })
+                .merge(&j.handler_hist);
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            let pre = format!("node{n}");
+            let r = &node.report;
+            metrics
+                .counter(&format!("{pre}.peak_frames"))
+                .add(r.peak_frames);
+            metrics
+                .counter(&format!("{pre}.vbuf_inserts"))
+                .add(r.vbuf_inserts);
+            metrics.counter(&format!("{pre}.vmallocs")).add(r.vmallocs);
+            metrics
+                .counter(&format!("{pre}.quantum_switches"))
+                .add(r.quantum_switches);
+            metrics
+                .counter(&format!("{pre}.overflow_advises"))
+                .add(r.overflow_advises);
+            metrics
+                .counter(&format!("{pre}.overflow_suspends"))
+                .add(r.overflow_suspends);
+        }
         RunReport {
             end_time: self.queue.now(),
             jobs: self
@@ -1337,6 +1505,7 @@ impl Machine {
                 })
                 .collect(),
             nodes: self.nodes.iter().map(|n| n.report.clone()).collect(),
+            metrics,
         }
     }
 }

@@ -1,8 +1,12 @@
 //! Run reports: the measurements the paper's tables and figures are built
 //! from.
 
-use fugu_sim::stats::Accum;
+use fugu_sim::json::Json;
+use fugu_sim::stats::{Accum, MetricsRegistry};
 use fugu_sim::Cycles;
+
+/// Schema identifier stamped into every [`RunReport::to_json`] document.
+pub const RUN_REPORT_SCHEMA: &str = "fugu-run-report/v1";
 
 /// Everything measured during one [`Machine::run`](crate::Machine::run).
 #[derive(Debug, Clone)]
@@ -13,6 +17,10 @@ pub struct RunReport {
     pub jobs: Vec<JobReport>,
     /// Per-node measurements.
     pub nodes: Vec<NodeReport>,
+    /// The same measurements as a flat named-metric registry
+    /// (`job.<name>.*` and `node<idx>.*` keys), for merging across runs
+    /// and JSON export.
+    pub metrics: MetricsRegistry,
 }
 
 impl RunReport {
@@ -32,6 +40,25 @@ impl RunReport {
     /// virtual buffering on any node (the paper's "<7 pages/node" claim).
     pub fn peak_buffer_pages(&self) -> u64 {
         self.nodes.iter().map(|n| n.peak_frames).max().unwrap_or(0)
+    }
+
+    /// Serializes the whole report (schema [`RUN_REPORT_SCHEMA`]): header
+    /// fields, a `jobs` array, a `nodes` array and the flat `metrics`
+    /// object.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema", Json::from(RUN_REPORT_SCHEMA)),
+            ("end_time", Json::from(self.end_time)),
+            (
+                "jobs",
+                Json::array(self.jobs.iter().map(JobReport::to_json)),
+            ),
+            (
+                "nodes",
+                Json::array(self.nodes.iter().map(NodeReport::to_json)),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
     }
 }
 
@@ -84,6 +111,30 @@ impl JobReport {
             self.delivered_buffered as f64 / total as f64
         }
     }
+
+    /// Serializes this job's measurements as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("completion", Json::from(self.completion)),
+            ("sent", Json::from(self.sent)),
+            ("delivered_fast", Json::from(self.delivered_fast)),
+            ("delivered_buffered", Json::from(self.delivered_buffered)),
+            ("swapped", Json::from(self.swapped)),
+            ("buffered_fraction", Json::from(self.buffered_fraction())),
+            (
+                "handler_cycles_mean",
+                Json::from(self.handler_cycles.mean()),
+            ),
+            ("atomicity_timeouts", Json::from(self.atomicity_timeouts)),
+            ("watchdog_fires", Json::from(self.watchdog_fires)),
+            ("page_faults", Json::from(self.page_faults)),
+            (
+                "overflow_suspensions",
+                Json::from(self.overflow_suspensions),
+            ),
+        ])
+    }
 }
 
 /// Measurements for one node.
@@ -101,4 +152,18 @@ pub struct NodeReport {
     pub overflow_advises: u64,
     /// Overflow-control global suspensions ordered.
     pub overflow_suspends: u64,
+}
+
+impl NodeReport {
+    /// Serializes this node's measurements as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("peak_frames", Json::from(self.peak_frames)),
+            ("vbuf_inserts", Json::from(self.vbuf_inserts)),
+            ("vmallocs", Json::from(self.vmallocs)),
+            ("quantum_switches", Json::from(self.quantum_switches)),
+            ("overflow_advises", Json::from(self.overflow_advises)),
+            ("overflow_suspends", Json::from(self.overflow_suspends)),
+        ])
+    }
 }

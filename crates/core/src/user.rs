@@ -120,7 +120,10 @@ pub trait Program: Send + Sync + 'static {
     /// must override it.
     fn handler(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
         let _ = ctx;
-        panic!("program received message {:?} but defines no handler", env.handler);
+        panic!(
+            "program received message {:?} but defines no handler",
+            env.handler
+        );
     }
 }
 

@@ -212,8 +212,8 @@ impl Program for AtomicHog {
         } else {
             ctx.begin_atomic();
             ctx.compute(100_000); // >> default 8192-cycle timeout
-            // Transparent access: this poll is served from the software
-            // buffer (the message was revoked into it long ago).
+                                  // Transparent access: this poll is served from the software
+                                  // buffer (the message was revoked into it long ago).
             let mut got = false;
             while !got {
                 got = ctx.poll();
@@ -233,7 +233,10 @@ fn atomicity_timeout_revokes_to_buffered_mode() {
     let r = m.run();
     let j = r.job("hog");
     assert_eq!(j.atomicity_timeouts, 1, "timer must have revoked once");
-    assert_eq!(j.delivered_buffered, 1, "message must take the buffered path");
+    assert_eq!(
+        j.delivered_buffered, 1,
+        "message must take the buffered path"
+    );
     assert_eq!(j.delivered_fast, 0);
     assert!(r.peak_buffer_pages() >= 1);
 }
@@ -367,10 +370,7 @@ fn zero_skew_multiprogramming_buffers_little() {
     let skewed = run(0.4);
     let f0 = aligned.job("exchange").buffered_fraction();
     let f4 = skewed.job("exchange").buffered_fraction();
-    assert!(
-        f4 > f0,
-        "skew must increase buffering: {f0:.3} !< {f4:.3}"
-    );
+    assert!(f4 > f0, "skew must increase buffering: {f0:.3} !< {f4:.3}");
     // The fast case is the common case when schedules align.
     assert!(f0 < 0.25, "aligned run buffered {:.1}%", f0 * 100.0);
 }
@@ -569,7 +569,10 @@ fn frame_exhaustion_swaps_and_suspends_instead_of_losing_messages() {
     let r = m.run();
     let j = r.job("flood");
     assert_eq!(j.delivered(), 400, "guaranteed delivery despite exhaustion");
-    assert!(j.swapped > 0, "some messages must have gone to backing store");
+    assert!(
+        j.swapped > 0,
+        "some messages must have gone to backing store"
+    );
     let node1 = &r.nodes[1];
     assert!(node1.overflow_suspends > 0 || node1.overflow_advises > 0);
 }
@@ -774,7 +777,10 @@ fn polling_watchdog_forces_interrupts_instead_of_buffering() {
     assert!(jr.atomicity_timeouts > 0 && jr.delivered_buffered > 0);
     assert_eq!(jr.watchdog_fires, 0);
     assert!(jw.watchdog_fires > 0, "watchdog must force interrupts");
-    assert_eq!(jw.delivered_buffered, 0, "watchdog avoids the buffered path");
+    assert_eq!(
+        jw.delivered_buffered, 0,
+        "watchdog avoids the buffered path"
+    );
     assert_eq!(jw.delivered(), 20);
 }
 
@@ -827,7 +833,11 @@ fn injectc_refuses_when_fabric_congested() {
         *p.refused.lock().unwrap() > 0,
         "a closed 8-message window must refuse some injectc attempts"
     );
-    assert_eq!(r.job("flood").delivered(), 64, "refusals must not lose messages");
+    assert_eq!(
+        r.job("flood").delivered(),
+        64,
+        "refusals must not lose messages"
+    );
 }
 
 // ======================================================================

@@ -1,0 +1,177 @@
+//! Observability contract of the simulated machine: identical
+//! configurations produce identical trace streams, subscribers see the
+//! same events the recorder does, and the metrics registry in the run
+//! report agrees with the per-job counters.
+
+use std::sync::{Arc, Mutex};
+
+use fugu_sim::trace::{CategoryMask, TraceEvent, TraceRecord, Tracer};
+use udm::{Envelope, JobSpec, Machine, MachineConfig, Program, RunReport, UserCtx};
+
+/// Every node streams bursts at its ring neighbour with a slow handler, so
+/// receivers fall behind and some messages take the buffered path.
+struct Chatter;
+impl Program for Chatter {
+    fn main(&self, ctx: &mut UserCtx<'_>) {
+        let peer = (ctx.node() + 1) % ctx.nodes();
+        for burst in 0..8 {
+            for _ in 0..25 {
+                ctx.send(peer, 0, &[burst, 1, 2]);
+                ctx.compute(250);
+            }
+            ctx.compute(10_000);
+        }
+    }
+    fn handler(&self, ctx: &mut UserCtx<'_>, _env: &Envelope) {
+        ctx.compute(400);
+    }
+}
+
+/// Background filler so the gang scheduler has something to switch to.
+struct Idler;
+impl Program for Idler {
+    fn main(&self, ctx: &mut UserCtx<'_>) {
+        loop {
+            ctx.compute(10_000);
+        }
+    }
+    fn handler(&self, _ctx: &mut UserCtx<'_>, _env: &Envelope) {}
+}
+
+/// A machine busy enough to exercise both delivery cases: chatter against
+/// an idle background job on a skewed schedule.
+fn busy_machine(tracer: Tracer) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        nodes: 4,
+        skew: 0.05,
+        seed: 7,
+        ..Default::default()
+    });
+    m.set_tracer(tracer);
+    m.add_job(JobSpec::new("chatter", Arc::new(Chatter)));
+    m.add_job(JobSpec::new("idler", Arc::new(Idler)).background());
+    m
+}
+
+fn traced_run(mask: CategoryMask) -> (RunReport, Vec<TraceRecord>) {
+    let tracer = Tracer::recorder(usize::MAX, mask);
+    let m = busy_machine(tracer.clone());
+    let report = m.run();
+    (report, tracer.take_records())
+}
+
+#[test]
+fn identical_seeds_produce_identical_trace_streams() {
+    let (r1, t1) = traced_run(CategoryMask::ALL);
+    let (r2, t2) = traced_run(CategoryMask::ALL);
+    assert!(!t1.is_empty(), "a busy run must emit events");
+    assert_eq!(t1.len(), t2.len());
+    assert_eq!(t1, t2, "trace streams diverged between identical runs");
+    assert_eq!(r1.end_time, r2.end_time);
+}
+
+#[test]
+fn trace_stream_covers_both_delivery_cases() {
+    let (report, records) = traced_run(CategoryMask::ALL);
+    let has = |f: &dyn Fn(&TraceEvent) -> bool| records.iter().any(|r| f(&r.event));
+    assert!(has(&|e| matches!(e, TraceEvent::MsgLaunch { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::MsgArrive { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::QuantumSwitch { .. })));
+    // The skewed schedule forces some messages through the second case.
+    let chatter = report.job("chatter");
+    assert!(chatter.delivered_buffered > 0, "workload should buffer");
+    assert!(has(&|e| matches!(e, TraceEvent::BufferInsert { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::ModeEnter { .. })));
+    // Timestamps are monotonically nondecreasing (the event loop stamps
+    // the tracer clock from the queue).
+    assert!(records.windows(2).all(|w| w[0].at <= w[1].at));
+}
+
+#[test]
+fn trace_counts_match_report_counters() {
+    let (report, records) = traced_run(CategoryMask::ALL);
+    let count =
+        |f: &dyn Fn(&TraceEvent) -> bool| records.iter().filter(|r| f(&r.event)).count() as u64;
+    let sent: u64 = report.jobs.iter().map(|j| j.sent).sum();
+    let buffered: u64 = report.jobs.iter().map(|j| j.delivered_buffered).sum();
+    let fast: u64 = report.jobs.iter().map(|j| j.delivered_fast).sum();
+    assert_eq!(count(&|e| matches!(e, TraceEvent::MsgLaunch { .. })), sent);
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::BufferInsert { .. })),
+        buffered
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::FastUpcall { .. }))
+            + count(&|e| matches!(e, TraceEvent::PollDelivery { .. })),
+        fast
+    );
+}
+
+#[test]
+fn category_mask_filters_recording() {
+    let (_, records) = traced_run(CategoryMask::SCHED);
+    assert!(!records.is_empty());
+    assert!(records
+        .iter()
+        .all(|r| matches!(r.event, TraceEvent::QuantumSwitch { .. })));
+}
+
+#[test]
+fn subscriber_sees_the_same_events_as_the_recorder() {
+    let tracer = Tracer::recorder(usize::MAX, CategoryMask::MSG);
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    {
+        let seen = Arc::clone(&seen);
+        tracer.subscribe(CategoryMask::MSG, move |at, event| {
+            seen.lock().unwrap().push(TraceRecord {
+                at,
+                event: event.clone(),
+            });
+        });
+    }
+    let m = busy_machine(tracer.clone());
+    m.run();
+    let recorded = tracer.take_records();
+    assert_eq!(*seen.lock().unwrap(), recorded);
+}
+
+#[test]
+fn metrics_registry_mirrors_job_reports() {
+    let tracer = Tracer::disabled();
+    let m = busy_machine(tracer);
+    let report = m.run();
+    for j in &report.jobs {
+        for (suffix, value) in [
+            ("sent", j.sent),
+            ("delivered_fast", j.delivered_fast),
+            ("delivered_buffered", j.delivered_buffered),
+            ("swapped", j.swapped),
+            ("atomicity_timeouts", j.atomicity_timeouts),
+            ("page_faults", j.page_faults),
+        ] {
+            let name = format!("job.{}.{suffix}", j.name);
+            assert_eq!(
+                report.metrics.counter_value(&name),
+                Some(value),
+                "metric {name} disagrees with the job report"
+            );
+        }
+    }
+    assert_eq!(
+        report.metrics.counter_value("machine.end_time"),
+        Some(report.end_time)
+    );
+}
+
+#[test]
+fn run_report_json_is_schema_versioned_and_deterministic() {
+    let run = || {
+        let m = busy_machine(Tracer::disabled());
+        m.run().to_json().render_pretty()
+    };
+    let a = run();
+    assert_eq!(a, run(), "report JSON must be reproducible");
+    assert!(a.contains("\"schema\": \"fugu-run-report/v1\""));
+    assert!(a.contains("\"metrics\""));
+    assert!(a.contains("\"job.chatter.sent\""));
+}

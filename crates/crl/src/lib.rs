@@ -146,9 +146,13 @@ struct DirReq {
 enum DirBusy {
     Idle,
     /// Waiting for a recalled owner's flush (`fill` words received so far).
-    AwaitFlush { fill: usize },
+    AwaitFlush {
+        fill: usize,
+    },
     /// Waiting for invalidation acknowledgements.
-    AwaitAcks { left: usize },
+    AwaitAcks {
+        left: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -196,7 +200,9 @@ impl Crl {
         Crl {
             nnodes,
             costs,
-            nodes: (0..nnodes).map(|_| Mutex::new(CrlNode::default())).collect(),
+            nodes: (0..nnodes)
+                .map(|_| Mutex::new(CrlNode::default()))
+                .collect(),
         }
     }
 
@@ -280,9 +286,10 @@ impl Crl {
                 let mut st = self.nodes[me].lock().unwrap();
                 // The home node with no remote owner can serve itself.
                 self.try_home_local(&mut st, me, rid, write);
-                let region = st.local.get_mut(&rid).unwrap_or_else(|| {
-                    panic!("node {me} accessed region {rid} before create")
-                });
+                let region = st
+                    .local
+                    .get_mut(&rid)
+                    .unwrap_or_else(|| panic!("node {me} accessed region {rid} before create"));
                 assert!(region.hold.is_none(), "region {rid} already held");
                 let ok = matches!(
                     (write, region.state),
@@ -312,7 +319,9 @@ impl Crl {
         if self.home(rid) != me {
             return;
         }
-        let Some(dir) = st.dir.get_mut(&rid) else { return };
+        let Some(dir) = st.dir.get_mut(&rid) else {
+            return;
+        };
         if dir.busy != DirBusy::Idle || !dir.queue.is_empty() {
             return; // remote traffic in flight; join the queue instead
         }
@@ -357,7 +366,11 @@ impl Crl {
         {
             let mut st = self.nodes[me].lock().unwrap();
             let region = st.local.get_mut(&rid).expect("region exists");
-            assert_eq!(region.hold, Some(expect), "mismatched end_* for region {rid}");
+            assert_eq!(
+                region.hold,
+                Some(expect),
+                "mismatched end_* for region {rid}"
+            );
             region.hold = None;
             deferred = region.deferred.take();
         }
@@ -746,7 +759,11 @@ impl Crl {
             let mut st = self.nodes[me].lock().unwrap();
             let region = st.local.get_mut(&rid).expect("region exists");
             let data = region.data.clone();
-            region.state = if full { LState::Invalid } else { LState::Shared };
+            region.state = if full {
+                LState::Invalid
+            } else {
+                LState::Shared
+            };
             data
         };
         self.send_chunks(ctx, self.home(rid), handlers::FLUSH, rid, full, &data);
@@ -772,8 +789,7 @@ impl Crl {
                         dir.busy = DirBusy::Idle;
                         dir.owner = None;
                         // A downgrade recall leaves the old owner sharing.
-                        let head_is_read =
-                            dir.queue.front().map(|r| !r.write).unwrap_or(false);
+                        let head_is_read = dir.queue.front().map(|r| !r.write).unwrap_or(false);
                         if head_is_read {
                             dir.sharers.insert(owner);
                         }

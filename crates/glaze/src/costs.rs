@@ -255,7 +255,9 @@ impl CostModel {
     /// Cost of receiving a null message in a polling loop (Table 4: 9
     /// cycles at both user and kernel level).
     pub fn poll_total(&self, words: usize) -> Cycles {
-        self.poll_check + self.poll_dispatch + self.poll_null_handler
+        self.poll_check
+            + self.poll_dispatch
+            + self.poll_null_handler
             + self.rx_per_word * words as Cycles
     }
 

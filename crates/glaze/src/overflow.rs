@@ -16,6 +16,7 @@
 //! paper's workloads: essentially never, because buffer demand stays low).
 
 use fugu_sim::stats::Counter;
+use fugu_sim::trace::{CategoryMask, TraceEvent, Tracer};
 
 /// Policy decision emitted by [`OverflowControl::check`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,8 @@ pub struct OverflowControl {
     suspend_below: u64,
     advises: Counter,
     suspends: Counter,
+    tracer: Tracer,
+    node: usize,
 }
 
 impl OverflowControl {
@@ -68,16 +71,36 @@ impl OverflowControl {
             suspend_below,
             advises: Counter::new(),
             suspends: Counter::new(),
+            tracer: Tracer::disabled(),
+            node: 0,
         }
+    }
+
+    /// Attaches a trace sink; advise/suspend decisions are emitted as
+    /// [`fugu_sim::trace::TraceEvent::OverflowAdvise`] and
+    /// [`fugu_sim::trace::TraceEvent::OverflowSuspend`] tagged with `node`.
+    pub fn attach_tracer(&mut self, tracer: Tracer, node: usize) {
+        self.tracer = tracer;
+        self.node = node;
     }
 
     /// Evaluates the policy against the current free-frame count.
     pub fn check(&mut self, free_frames: u64) -> Option<OverflowAction> {
         if free_frames < self.suspend_below {
             self.suspends.inc();
+            self.tracer
+                .emit_with(CategoryMask::OVERFLOW, || TraceEvent::OverflowSuspend {
+                    node: self.node,
+                    free_frames: free_frames as usize,
+                });
             Some(OverflowAction::SuspendGlobally)
         } else if free_frames < self.advise_below {
             self.advises.inc();
+            self.tracer
+                .emit_with(CategoryMask::OVERFLOW, || TraceEvent::OverflowAdvise {
+                    node: self.node,
+                    free_frames: free_frames as usize,
+                });
             Some(OverflowAction::AdviseGangSchedule)
         } else {
             None

@@ -8,6 +8,7 @@
 //! the overflow-control policy watches its free count.
 
 use fugu_sim::stats::HighWater;
+use fugu_sim::trace::{CategoryMask, TraceEvent, Tracer};
 
 /// Error returned when a node has no free page frames; without the second
 /// network this is the deadlock case of §4.2.
@@ -41,6 +42,8 @@ impl std::error::Error for OutOfFrames {}
 pub struct FrameAllocator {
     total: u64,
     used: HighWater,
+    tracer: Tracer,
+    node: usize,
 }
 
 impl FrameAllocator {
@@ -49,7 +52,17 @@ impl FrameAllocator {
         FrameAllocator {
             total,
             used: HighWater::new(),
+            tracer: Tracer::disabled(),
+            node: 0,
         }
+    }
+
+    /// Attaches a trace sink; [`fugu_sim::trace::TraceEvent::PageAlloc`] and
+    /// [`fugu_sim::trace::TraceEvent::PageRelease`] events are tagged with
+    /// `node`.
+    pub fn attach_tracer(&mut self, tracer: Tracer, node: usize) {
+        self.tracer = tracer;
+        self.node = node;
     }
 
     /// Total frames in the pool.
@@ -85,6 +98,11 @@ impl FrameAllocator {
             return Err(OutOfFrames);
         }
         self.used.adjust(1);
+        self.tracer
+            .emit_with(CategoryMask::VM, || TraceEvent::PageAlloc {
+                node: self.node,
+                in_use: self.used.current() as usize,
+            });
         Ok(())
     }
 
@@ -101,6 +119,11 @@ impl FrameAllocator {
             self.used.current()
         );
         self.used.adjust(-(n as i64));
+        self.tracer
+            .emit_with(CategoryMask::VM, || TraceEvent::PageRelease {
+                node: self.node,
+                in_use: self.used.current() as usize,
+            });
     }
 }
 

@@ -1,12 +1,13 @@
 //! Property-based tests of the Glaze substrate: the virtual buffer must
 //! behave exactly like a FIFO while never leaking or double-counting page
 //! frames, and the gang scheduler must produce consistent, fair schedules
-//! for arbitrary parameters.
-
-use proptest::prelude::*;
+//! for arbitrary parameters. Inputs come from `fugu_sim::prop`'s seeded
+//! driver so the tests run fully offline.
 
 use fugu_glaze::{FrameAllocator, GangScheduler, VirtualBuffer};
 use fugu_net::{Gid, HandlerId, Message};
+use fugu_sim::prop::forall;
+use fugu_sim::rng::DetRng;
 
 #[derive(Debug, Clone)]
 enum VbOp {
@@ -16,32 +17,36 @@ enum VbOp {
     PageOutAll,
 }
 
-fn vb_op() -> impl Strategy<Value = VbOp> {
-    prop_oneof![
-        4 => (0usize..14).prop_map(|words| VbOp::Insert { words }),
-        1 => (0usize..14).prop_map(|words| VbOp::InsertSwapped { words }),
-        4 => Just(VbOp::Pop),
-        1 => Just(VbOp::PageOutAll),
-    ]
+fn gen_vb_op(rng: &mut DetRng) -> VbOp {
+    // Weights match the original strategy: 4:1:4:1.
+    match rng.index(10) {
+        0..=3 => VbOp::Insert {
+            words: rng.index(14),
+        },
+        4 => VbOp::InsertSwapped {
+            words: rng.index(14),
+        },
+        5..=8 => VbOp::Pop,
+        _ => VbOp::PageOutAll,
+    }
 }
 
-proptest! {
-    /// The virtual buffer is a FIFO over arbitrary insert/pop/swap/page-out
-    /// interleavings, frames are conserved, and a drained buffer holds no
-    /// frames.
-    #[test]
-    fn vbuf_is_a_fifo_and_conserves_frames(
-        ops in proptest::collection::vec(vb_op(), 1..200),
-        page_size in prop_oneof![Just(64usize), Just(128), Just(4096)],
-    ) {
+/// The virtual buffer is a FIFO over arbitrary insert/pop/swap/page-out
+/// interleavings, frames are conserved, and a drained buffer holds no
+/// frames.
+#[test]
+fn vbuf_is_a_fifo_and_conserves_frames() {
+    forall(256, 0x61A2_0001, |rng| {
+        let n_ops = rng.range_u64(1, 200) as usize;
+        let page_size = *rng.pick(&[64usize, 128, 4096]);
         let total_frames = 64;
         let mut frames = FrameAllocator::new(total_frames);
         let mut vb = VirtualBuffer::new(page_size);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let mut next_tag = 0u32;
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_vb_op(rng) {
                 VbOp::Insert { words } => {
                     let msg = Message::new(0, 1, Gid::new(1), HandlerId(next_tag), vec![0; words]);
                     if vb.insert(msg, &mut frames).is_ok() {
@@ -55,52 +60,52 @@ proptest! {
                     model.push_back(next_tag);
                     next_tag += 1;
                 }
-                VbOp::Pop => {
-                    match (vb.pop(&mut frames), model.pop_front()) {
-                        (Some((msg, _)), Some(tag)) => prop_assert_eq!(msg.handler().0, tag),
-                        (None, None) => {}
-                        (got, want) => prop_assert!(false, "pop mismatch: {got:?} vs {want:?}"),
-                    }
-                }
+                VbOp::Pop => match (vb.pop(&mut frames), model.pop_front()) {
+                    (Some((msg, _)), Some(tag)) => assert_eq!(msg.handler().0, tag),
+                    (None, None) => {}
+                    (got, want) => panic!("pop mismatch: {got:?} vs {want:?}"),
+                },
                 VbOp::PageOutAll => {
                     vb.page_out_all(&mut frames);
-                    prop_assert_eq!(frames.used(), 0);
+                    assert_eq!(frames.used(), 0);
                 }
             }
-            prop_assert_eq!(vb.len(), model.len());
-            prop_assert_eq!(vb.pages_in_use(), frames.used());
-            prop_assert!(frames.used() <= total_frames);
+            assert_eq!(vb.len(), model.len());
+            assert_eq!(vb.pages_in_use(), frames.used());
+            assert!(frames.used() <= total_frames);
             if model.is_empty() {
-                prop_assert_eq!(frames.used(), 0, "drained buffer pinned frames");
+                assert_eq!(frames.used(), 0, "drained buffer pinned frames");
             }
         }
-    }
+    });
+}
 
-    /// Gang schedules are internally consistent: `next_switch` is the first
-    /// time the assignment actually changes, and each job gets a fair share
-    /// of every node.
-    #[test]
-    fn gang_schedule_consistency(
-        timeslice in 100u64..5_000,
-        skew in 0.0f64..0.9,
-        jobs in 1usize..4,
-        nodes in 1usize..6,
-        samples in proptest::collection::vec(0u64..200_000, 10),
-    ) {
+/// Gang schedules are internally consistent: `next_switch` is the first
+/// time the assignment actually changes, and each job gets a fair share
+/// of every node.
+#[test]
+fn gang_schedule_consistency() {
+    forall(64, 0x61A2_0002, |rng| {
+        let timeslice = rng.range_u64(100, 5_000);
+        let skew = rng.range_f64(0.0, 0.9);
+        let jobs = 1 + rng.index(3);
+        let nodes = 1 + rng.index(5);
+        let samples: Vec<u64> = (0..10).map(|_| rng.range_u64(0, 200_000)).collect();
+
         let s = GangScheduler::new(timeslice, skew, jobs, nodes);
         for node in 0..nodes {
             for &t in &samples {
                 let cur = s.job_at(node, t);
-                prop_assert!(cur < jobs);
+                assert!(cur < jobs);
                 let sw = s.next_switch(node, t);
-                prop_assert!(sw > t);
+                assert!(sw > t);
                 if jobs > 1 {
                     // The assignment is constant until the switch, then
                     // changes exactly at it.
-                    prop_assert_eq!(s.job_at(node, sw - 1), cur);
-                    prop_assert_ne!(s.job_at(node, sw), cur);
+                    assert_eq!(s.job_at(node, sw - 1), cur);
+                    assert_ne!(s.job_at(node, sw), cur);
                 } else {
-                    prop_assert_eq!(s.job_at(node, sw), 0);
+                    assert_eq!(s.job_at(node, sw), 0);
                 }
             }
             if jobs > 1 {
@@ -116,10 +121,12 @@ proptest! {
                 let total: u64 = counts.iter().sum();
                 for &c in &counts {
                     let frac = c as f64 / total as f64;
-                    prop_assert!((frac - 1.0 / jobs as f64).abs() < 0.05,
-                        "unfair share {frac} for {jobs} jobs");
+                    assert!(
+                        (frac - 1.0 / jobs as f64).abs() < 0.05,
+                        "unfair share {frac} for {jobs} jobs"
+                    );
                 }
             }
         }
-    }
+    });
 }

@@ -102,13 +102,10 @@ impl Network {
     /// arrival time at the destination interface. FIFO order per
     /// (src, dst) pair is enforced by construction.
     pub fn inject(&mut self, now: Cycles, msg: &Message) -> Cycles {
-        let transit = self.config.base_latency + self.config.cycles_per_word * msg.len_words() as Cycles;
+        let transit =
+            self.config.base_latency + self.config.cycles_per_word * msg.len_words() as Cycles;
         let channel = (msg.src(), msg.dst());
-        let fifo_floor = self
-            .last_arrival
-            .get(&channel)
-            .map(|&t| t + 1)
-            .unwrap_or(0);
+        let fifo_floor = self.last_arrival.get(&channel).map(|&t| t + 1).unwrap_or(0);
         let arrival = (now + transit).max(fifo_floor);
         self.last_arrival.insert(channel, arrival);
         *self.in_flight.entry(msg.dst()).or_insert(0) += 1;

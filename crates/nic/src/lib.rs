@@ -39,6 +39,7 @@ pub use uac::{Uac, UacMask};
 use std::collections::VecDeque;
 
 use fugu_net::{Gid, Message, MAX_MESSAGE_WORDS};
+use fugu_sim::trace::{CategoryMask, TraceEvent, Tracer};
 
 /// Privilege level of the code executing a NIC operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +138,10 @@ pub struct Nic {
     divert_mode: bool,
     /// User Atomicity Control register (Table 3).
     uac: Uac,
+    /// Trace sink for arrival and divert events.
+    tracer: Tracer,
+    /// The node this interface belongs to, used to tag trace events.
+    node: usize,
 }
 
 impl Nic {
@@ -149,7 +154,17 @@ impl Nic {
             gid: Gid::KERNEL,
             divert_mode: false,
             uac: Uac::new(),
+            tracer: Tracer::disabled(),
+            node: 0,
         }
+    }
+
+    /// Attaches a trace sink; arrivals emit
+    /// [`fugu_sim::trace::TraceEvent::MsgArrive`] and divert-register flips
+    /// emit [`fugu_sim::trace::TraceEvent::NicDivert`], tagged with `node`.
+    pub fn attach_tracer(&mut self, tracer: Tracer, node: usize) {
+        self.tracer = tracer;
+        self.node = node;
     }
 
     // ------------------------------------------------------------------
@@ -227,6 +242,11 @@ impl Nic {
             return Err(QueueFull(msg));
         }
         self.in_queue.push_back(msg);
+        self.tracer
+            .emit_with(CategoryMask::MSG, || TraceEvent::MsgArrive {
+                node: self.node,
+                qlen: self.in_queue.len(),
+            });
         Ok(())
     }
 
@@ -243,11 +263,7 @@ impl Nic {
     /// The *message-available* flag: a message the **user** may read sits
     /// at the head of the queue (GID matches and divert-mode is clear).
     pub fn message_available(&self) -> bool {
-        !self.divert_mode
-            && self
-                .in_queue
-                .front()
-                .is_some_and(|m| m.gid() == self.gid)
+        !self.divert_mode && self.in_queue.front().is_some_and(|m| m.gid() == self.gid)
     }
 
     /// `peek`: examines the head message without dequeuing (§3).
@@ -389,6 +405,13 @@ impl Nic {
     /// Sets or clears *divert-mode* (kernel register; §4.2 buffered-mode
     /// steady state).
     pub fn set_divert(&mut self, divert: bool) {
+        if self.divert_mode != divert {
+            self.tracer
+                .emit_with(CategoryMask::MODE, || TraceEvent::NicDivert {
+                    node: self.node,
+                    on: divert,
+                });
+        }
         self.divert_mode = divert;
     }
 
@@ -480,7 +503,10 @@ mod tests {
         n.beginatom(Mode::User, UacMask::INTERRUPT_DISABLE).unwrap();
         n.enqueue(msg(2, 0)).unwrap();
         assert_eq!(n.head_disposition(), Some(HeadDisposition::UserFlagOnly));
-        assert!(n.message_available(), "flag must still be visible for polling");
+        assert!(
+            n.message_available(),
+            "flag must still be visible for polling"
+        );
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! reference model: arbitrary interleavings of arrivals, disposes, kernel
 //! extracts and register writes must preserve FIFO order, never leak
 //! another group's message to the user, and keep the trap matrix exact.
-
-use proptest::prelude::*;
+//! Inputs come from `fugu_sim::prop`'s seeded driver so the tests run fully
+//! offline.
 
 use fugu_net::{Gid, HandlerId, Message};
 use fugu_nic::{HeadDisposition, Mode, Nic, NicConfig, Trap, UacMask};
+use fugu_sim::prop::forall;
+use fugu_sim::rng::DetRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -19,23 +21,29 @@ enum Op {
     EndAtomic,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u16..4, any::<u32>()).prop_map(|(gid, tag)| Op::Enqueue { gid, tag }),
-        Just(Op::UserDispose),
-        Just(Op::KernelExtract),
-        (1u16..4).prop_map(Op::SetGid),
-        any::<bool>().prop_map(Op::SetDivert),
-        Just(Op::BeginAtomic),
-        Just(Op::EndAtomic),
-    ]
+fn gen_op(rng: &mut DetRng) -> Op {
+    match rng.index(7) {
+        0 => Op::Enqueue {
+            gid: rng.range_u64(1, 4) as u16,
+            tag: rng.next_u64() as u32,
+        },
+        1 => Op::UserDispose,
+        2 => Op::KernelExtract,
+        3 => Op::SetGid(rng.range_u64(1, 4) as u16),
+        4 => Op::SetDivert(rng.chance(0.5)),
+        5 => Op::BeginAtomic,
+        _ => Op::EndAtomic,
+    }
 }
 
-proptest! {
-    #[test]
-    fn nic_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn nic_matches_reference_model() {
+    forall(256, 0x01C0_0001, |rng| {
+        let n_ops = rng.range_u64(1, 300) as usize;
         let capacity = 4;
-        let mut nic = Nic::new(NicConfig { input_queue_msgs: capacity });
+        let mut nic = Nic::new(NicConfig {
+            input_queue_msgs: capacity,
+        });
         nic.set_gid(Gid::new(1));
         // Reference model.
         let mut queue: Vec<(u16, u32)> = Vec::new();
@@ -43,38 +51,37 @@ proptest! {
         let mut divert = false;
         let mut disabled = false;
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(rng) {
                 Op::Enqueue { gid, tag } => {
                     let msg = Message::new(0, 1, Gid::new(gid), HandlerId(tag), vec![]);
                     let accepted = nic.enqueue(msg).is_ok();
-                    prop_assert_eq!(accepted, queue.len() < capacity);
+                    assert_eq!(accepted, queue.len() < capacity);
                     if accepted {
                         queue.push((gid, tag));
                     }
                 }
                 Op::UserDispose => {
-                    let model_ok = !divert
-                        && queue.first().is_some_and(|&(g, _)| g == cur_gid);
+                    let model_ok = !divert && queue.first().is_some_and(|&(g, _)| g == cur_gid);
                     match nic.dispose(Mode::User) {
                         Ok(msg) => {
-                            prop_assert!(model_ok);
+                            assert!(model_ok);
                             let (g, tag) = queue.remove(0);
-                            prop_assert_eq!(msg.gid().raw(), g);
-                            prop_assert_eq!(msg.handler().0, tag);
+                            assert_eq!(msg.gid().raw(), g);
+                            assert_eq!(msg.handler().0, tag);
                         }
-                        Err(Trap::DisposeExtend) => prop_assert!(divert),
-                        Err(Trap::BadDispose) => prop_assert!(!model_ok && !divert),
-                        Err(other) => prop_assert!(false, "unexpected trap {other:?}"),
+                        Err(Trap::DisposeExtend) => assert!(divert),
+                        Err(Trap::BadDispose) => assert!(!model_ok && !divert),
+                        Err(other) => panic!("unexpected trap {other:?}"),
                     }
                 }
                 Op::KernelExtract => {
                     let got = nic.kernel_extract();
-                    prop_assert_eq!(got.is_some(), !queue.is_empty());
+                    assert_eq!(got.is_some(), !queue.is_empty());
                     if let Some(msg) = got {
                         let (g, tag) = queue.remove(0);
-                        prop_assert_eq!(msg.gid().raw(), g);
-                        prop_assert_eq!(msg.handler().0, tag);
+                        assert_eq!(msg.gid().raw(), g);
+                        assert_eq!(msg.handler().0, tag);
                     }
                 }
                 Op::SetGid(g) => {
@@ -86,7 +93,8 @@ proptest! {
                     divert = d;
                 }
                 Op::BeginAtomic => {
-                    nic.beginatom(Mode::User, UacMask::INTERRUPT_DISABLE).unwrap();
+                    nic.beginatom(Mode::User, UacMask::INTERRUPT_DISABLE)
+                        .unwrap();
                     disabled = true;
                 }
                 Op::EndAtomic => {
@@ -100,25 +108,23 @@ proptest! {
             // Invariants after every step.
             let head = queue.first().copied();
             let model_avail = !divert && head.is_some_and(|(g, _)| g == cur_gid);
-            prop_assert_eq!(nic.message_available(), model_avail);
+            assert_eq!(nic.message_available(), model_avail);
             // The user's peek never exposes another group's message.
             if let Some(m) = nic.peek() {
-                prop_assert_eq!(m.gid().raw(), cur_gid);
-                prop_assert!(!divert);
+                assert_eq!(m.gid().raw(), cur_gid);
+                assert!(!divert);
             }
             // Disposition logic.
             let expect = match head {
                 None => None,
-                Some((g, _)) if divert || g != cur_gid => {
-                    Some(HeadDisposition::KernelInterrupt)
-                }
+                Some((g, _)) if divert || g != cur_gid => Some(HeadDisposition::KernelInterrupt),
                 Some(_) if disabled => Some(HeadDisposition::UserFlagOnly),
                 Some(_) => Some(HeadDisposition::UserInterrupt),
             };
-            prop_assert_eq!(nic.head_disposition(), expect);
+            assert_eq!(nic.head_disposition(), expect);
             // Timer rule.
-            prop_assert_eq!(nic.timer_should_run(), disabled && model_avail);
-            prop_assert_eq!(nic.queue_len(), queue.len());
+            assert_eq!(nic.timer_should_run(), disabled && model_avail);
+            assert_eq!(nic.queue_len(), queue.len());
         }
-    }
+    });
 }

@@ -92,7 +92,10 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to fire `delay` cycles from now.
     pub fn schedule_in(&mut self, delay: Cycles, event: E) -> EventId {
-        let at = self.now.checked_add(delay).expect("simulated time overflow");
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulated time overflow");
         self.schedule(at, event)
     }
 

@@ -1,0 +1,306 @@
+//! A minimal, deterministic JSON value and serializer.
+//!
+//! The experiment harnesses write schema-versioned reports (see
+//! `docs/OBSERVABILITY.md`) without pulling in an external serialization
+//! crate. [`Json`] is an ordered value tree: objects preserve insertion
+//! order, so the same data always renders to the same bytes — a property the
+//! bench suite relies on to assert that parallel (`--jobs N`) and sequential
+//! sweeps produce byte-identical reports.
+//!
+//! # Example
+//!
+//! ```
+//! use fugu_sim::json::Json;
+//!
+//! let report = Json::object([
+//!     ("schema", Json::from("example/v1")),
+//!     ("points", Json::array([Json::from(1u64), Json::from(2u64)])),
+//! ]);
+//! assert_eq!(report.render(), r#"{"schema":"example/v1","points":[1,2]}"#);
+//! ```
+
+use std::fmt;
+
+/// An owned JSON value with insertion-ordered objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer, rendered exactly (no float rounding).
+    UInt(u64),
+    /// A signed integer, rendered exactly.
+    Int(i64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object whose keys keep their insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving their order.
+    pub fn object<S, I>(pairs: I) -> Json
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = (S, Json)>,
+    {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a key/value pair to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`Json::Obj`].
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Json>) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders human-readable JSON with two-space indentation and a trailing
+    /// newline, suitable for files checked into `results/`.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(x) => write_float(*x, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            leaf => leaf.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // Rust's shortest-roundtrip formatting is deterministic across runs
+        // and platforms, which keeps report bytes stable.
+        out.push_str(&format!("{x}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::UInt(n.into())
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(
+            Json::from(18_446_744_073_709_551_615u64).render(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::from(-5i64).render(), "-5");
+        assert_eq!(Json::from(2.5).render(), "2.5");
+        assert_eq!(Json::from(2.0).render(), "2");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").render(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut obj = Json::object([("z", Json::from(1u64))]);
+        obj.set("a", 2u64);
+        assert_eq!(obj.render(), r#"{"z":1,"a":2}"#);
+        assert_eq!(obj.get("a"), Some(&Json::UInt(2)));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = Json::object([
+            ("xs", Json::array([Json::from(1u64)])),
+            ("empty", Json::array([])),
+        ]);
+        assert_eq!(
+            v.render_pretty(),
+            "{\n  \"xs\": [\n    1\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn option_converts() {
+        assert_eq!(Json::from(None::<u64>).render(), "null");
+        assert_eq!(Json::from(Some(3u64)).render(), "3");
+    }
+}

@@ -13,8 +13,14 @@
 //!   are fully deterministic);
 //! * [`rng::DetRng`] — a small, self-contained, seedable PRNG so results do
 //!   not depend on external crate versions;
-//! * [`stats`] — counters, accumulators and histograms used by the
-//!   experiment harnesses.
+//! * [`stats`] — counters, accumulators, histograms and the named
+//!   [`stats::MetricsRegistry`] used by the experiment harnesses;
+//! * [`trace`] — typed [`trace::TraceEvent`]s with a ring-buffer recorder
+//!   and subscriber callbacks, zero-cost when disabled;
+//! * [`json`] — a dependency-free, deterministic JSON serializer for the
+//!   harnesses' schema-versioned reports;
+//! * [`prop`] — a tiny seeded property-testing driver for the workspace's
+//!   randomized model tests.
 //!
 //! # Example
 //!
@@ -29,10 +35,15 @@
 //! assert_eq!(q.pop(), None);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod coro;
 pub mod event;
+pub mod json;
+pub mod prop;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 /// Simulated time, measured in processor clock cycles.
 ///

@@ -1,10 +1,11 @@
 //! Property-based tests for the simulation substrate: the event queue must
 //! behave exactly like a sorted reference model, and the RNG primitives must
-//! respect their contracts for arbitrary inputs.
-
-use proptest::prelude::*;
+//! respect their contracts for arbitrary inputs. Inputs are generated with
+//! the crate's own seeded driver (`fugu_sim::prop`) so the tests run fully
+//! offline.
 
 use fugu_sim::event::EventQueue;
+use fugu_sim::prop::forall;
 use fugu_sim::rng::DetRng;
 
 /// Operations applied to both the real queue and a reference model.
@@ -15,19 +16,23 @@ enum Op {
     Pop,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..1000, any::<u32>()).prop_map(|(delay, tag)| Op::Schedule { delay, tag }),
-        (0usize..32).prop_map(Op::CancelNth),
-        Just(Op::Pop),
-    ]
+fn gen_op(rng: &mut DetRng) -> Op {
+    match rng.index(3) {
+        0 => Op::Schedule {
+            delay: rng.range_u64(0, 1000),
+            tag: rng.next_u64() as u32,
+        },
+        1 => Op::CancelNth(rng.index(32)),
+        _ => Op::Pop,
+    }
 }
 
-proptest! {
-    /// The queue agrees with a Vec-based reference model under arbitrary
-    /// interleavings of schedule / cancel / pop.
-    #[test]
-    fn event_queue_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// The queue agrees with a Vec-based reference model under arbitrary
+/// interleavings of schedule / cancel / pop.
+#[test]
+fn event_queue_matches_reference_model() {
+    forall(256, 0x5EED_0001, |rng| {
+        let n_ops = rng.range_u64(1, 200) as usize;
         let mut q: EventQueue<u32> = EventQueue::new();
         // Reference: (time, insertion_seq, tag), kept sorted on pop.
         let mut model: Vec<(u64, u64, u32)> = Vec::new();
@@ -35,8 +40,8 @@ proptest! {
         let mut seq = 0u64;
         let mut now = 0u64;
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(rng) {
                 Op::Schedule { delay, tag } => {
                     let at = now + delay;
                     let id = q.schedule(at, tag);
@@ -52,9 +57,9 @@ proptest! {
                         match model_had {
                             Some(pos) => {
                                 let (_, _, tag) = model.remove(pos);
-                                prop_assert_eq!(got, Some(tag));
+                                assert_eq!(got, Some(tag));
                             }
-                            None => prop_assert_eq!(got, None),
+                            None => assert_eq!(got, None),
                         }
                     }
                 }
@@ -67,34 +72,41 @@ proptest! {
                         now = t;
                         Some((t, tag))
                     };
-                    prop_assert_eq!(q.pop(), expect);
+                    assert_eq!(q.pop(), expect);
                 }
             }
-            prop_assert_eq!(q.len(), model.len());
+            assert_eq!(q.len(), model.len());
         }
-    }
+    });
+}
 
-    /// `range_u64` never escapes its bounds and is seed-deterministic.
-    #[test]
-    fn rng_range_contract(seed in any::<u64>(), lo in 0u64..1_000_000, span in 1u64..100_000) {
-        let hi = lo + span;
+/// `range_u64` never escapes its bounds and is seed-deterministic.
+#[test]
+fn rng_range_contract() {
+    forall(256, 0x5EED_0002, |rng| {
+        let seed = rng.next_u64();
+        let lo = rng.range_u64(0, 1_000_000);
+        let hi = lo + rng.range_u64(1, 100_000);
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..64 {
             let x = a.range_u64(lo, hi);
-            prop_assert!(x >= lo && x < hi);
-            prop_assert_eq!(x, b.range_u64(lo, hi));
+            assert!(x >= lo && x < hi);
+            assert_eq!(x, b.range_u64(lo, hi));
         }
-    }
+    });
+}
 
-    /// Shuffle always produces a permutation.
-    #[test]
-    fn rng_shuffle_permutes(seed in any::<u64>(), n in 0usize..64) {
-        let mut r = DetRng::new(seed);
+/// Shuffle always produces a permutation.
+#[test]
+fn rng_shuffle_permutes() {
+    forall(256, 0x5EED_0003, |rng| {
+        let n = rng.index(64);
+        let mut r = DetRng::new(rng.next_u64());
         let mut xs: Vec<usize> = (0..n).collect();
         r.shuffle(&mut xs);
         let mut sorted = xs.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    });
 }

@@ -67,7 +67,10 @@ fn main() {
         nodes: 2,
         ..Default::default()
     });
-    machine.add_job(JobSpec::new("pingpong", Arc::clone(&app) as Arc<dyn Program>));
+    machine.add_job(JobSpec::new(
+        "pingpong",
+        Arc::clone(&app) as Arc<dyn Program>,
+    ));
     let report = machine.run();
 
     let job = report.job("pingpong");

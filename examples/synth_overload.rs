@@ -10,7 +10,10 @@ use two_case_delivery::{CostModel, Machine, MachineConfig};
 fn main() {
     let nodes = 4;
     println!("synth-1000 × null on {nodes} nodes, 1% skew, T_hand ≈ 290 cycles");
-    println!("{:>8}  {:>10}  {:>12}  {:>10}", "T_betw", "% buffered", "timeouts", "peak pages");
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>10}",
+        "T_betw", "% buffered", "timeouts", "peak pages"
+    );
 
     for t_betw in [2_000u64, 1_000, 400, 275, 150, 100, 50] {
         let mut machine = Machine::new(MachineConfig {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, format, lint. Run from the repo root.
+#
+# The workspace has no external dependencies, so everything here works
+# offline (--offline keeps cargo from touching the network on machines
+# with no registry cache). Requires rustfmt and clippy components.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release
+cargo test --offline --workspace -q
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "ci: all checks passed"

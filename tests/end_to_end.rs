@@ -3,7 +3,6 @@
 //! UDM application and the null application) under a skewed schedule, with
 //! every message accounted for and results validated.
 
-
 use two_case_delivery::apps::barrier::{BarrierApp, BarrierParams};
 use two_case_delivery::apps::enumerate::{EnumApp, EnumParams};
 use two_case_delivery::apps::lu::{LuApp, LuParams};
@@ -49,7 +48,10 @@ fn three_way_multiprogramming_with_skew() {
 
     // Both foreground jobs finished correctly despite buffering.
     assert!(lu.residual().unwrap() < 1e-4);
-    assert_eq!(en.solutions(), Some(EnumApp::reference_count(enum_params())));
+    assert_eq!(
+        en.solutions(),
+        Some(EnumApp::reference_count(enum_params()))
+    );
     {
         let j = r.job("lu");
         assert_eq!(j.delivered(), j.sent, "lu lost messages");
@@ -81,12 +83,21 @@ fn whole_stack_is_deterministic() {
             ..Default::default()
         });
         m.add_job(EnumApp::job(&en));
-        m.add_job(BarrierApp::spec(nodes, BarrierParams { barriers: 50, work: 100 }));
+        m.add_job(BarrierApp::spec(
+            nodes,
+            BarrierParams {
+                barriers: 50,
+                work: 100,
+            },
+        ));
         m.add_job(NullApp::spec());
         let r = m.run();
         (
             r.end_time,
-            r.jobs.iter().map(|j| (j.sent, j.delivered_buffered)).collect::<Vec<_>>(),
+            r.jobs
+                .iter()
+                .map(|j| (j.sent, j.delivered_buffered))
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run(), run());
