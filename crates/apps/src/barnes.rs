@@ -307,6 +307,11 @@ impl BarnesApp {
         *self.checksum.lock().unwrap()
     }
 
+    /// CRL request retries fired by the timeout protocol (chaos runs).
+    pub fn crl_retries(&self) -> u64 {
+        self.crl.retries()
+    }
+
     fn initial_bodies(&self) -> Vec<Body> {
         let mut rng = DetRng::new(self.params.seed);
         (0..self.params.bodies)

@@ -9,10 +9,18 @@
 
 use std::sync::{Arc, Mutex};
 
-use udm::{Envelope, JobSpec, Program, UserCtx};
+use udm::{Cycles, Envelope, JobSpec, Program, UserCtx};
 
-/// Handler id for barrier tokens. Payload: `[round]`.
+/// Handler id for barrier tokens. Payload: `[round | (episode + 1) << 6]` —
+/// carrying the episode makes duplicated tokens idempotent (arrival tracking
+/// keeps a high-water mark) and lets dropped tokens be re-announced. A
+/// payload of `[round]` (episode bits zero) is a re-send request from the
+/// round-`round` successor, used only under fault injection.
 const H_TOKEN: u32 = 1;
+
+/// Initial re-send timeout under fault injection; doubles per retry up to
+/// 64×. Never consulted when the fault plan is inert.
+const RETRY_TIMEOUT: Cycles = 50_000;
 
 /// Parameters for the barrier benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,9 +40,12 @@ impl Default for BarrierParams {
     }
 }
 
-/// Per-node barrier state: tokens received per round, cumulative.
+/// Per-node barrier state, per round: the highest `episode + 1` any token
+/// has announced, and the highest this node has itself announced (consulted
+/// to answer re-send requests under fault injection).
 struct NodeState {
     arrived: Vec<u64>,
+    sent: Vec<u64>,
 }
 
 /// The dissemination-barrier program.
@@ -62,6 +73,7 @@ impl BarrierApp {
                 .map(|_| {
                     Mutex::new(NodeState {
                         arrived: vec![0; rounds.max(1)],
+                        sent: vec![0; rounds.max(1)],
                     })
                 })
                 .collect(),
@@ -95,9 +107,15 @@ impl Program for BarrierApp {
             }
             for k in 0..self.rounds {
                 let peer = (me + (1 << k)) % p;
-                ctx.send(peer, H_TOKEN, &[k as u32]);
-                // Wait until the cumulative token count for this round
+                let token = [k as u32 | ((b + 1) << 6)];
+                {
+                    let mut st = self.nodes[me].lock().unwrap();
+                    st.sent[k] = st.sent[k].max((b + 1) as u64);
+                }
+                ctx.send(peer, H_TOKEN, &token);
+                // Wait until the announced high-water mark for this round
                 // covers this barrier episode.
+                let mut timeout = RETRY_TIMEOUT;
                 loop {
                     {
                         let st = self.nodes[me].lock().unwrap();
@@ -105,7 +123,20 @@ impl Program for BarrierApp {
                             break;
                         }
                     }
-                    ctx.block(Self::wait_key(k));
+                    if ctx.faults_active() {
+                        // Chaos mode: our token, or our predecessor's, may
+                        // have been dropped. On timeout re-announce ours
+                        // (receipt is a high-water mark, so duplicates are
+                        // harmless) and ask the predecessor to re-announce.
+                        if !ctx.block_timeout(Self::wait_key(k), timeout) {
+                            ctx.send(peer, H_TOKEN, &token);
+                            let pred = (me + p - (1 << k)) % p;
+                            ctx.send(pred, H_TOKEN, &[k as u32]);
+                            timeout = timeout.saturating_mul(2).min(RETRY_TIMEOUT * 64);
+                        }
+                    } else {
+                        ctx.block(Self::wait_key(k));
+                    }
                 }
             }
         }
@@ -113,10 +144,22 @@ impl Program for BarrierApp {
 
     fn handler(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
         debug_assert_eq!(env.handler.0, H_TOKEN);
-        let round = env.payload[0] as usize;
+        let round = (env.payload[0] & 0x3F) as usize;
+        let announced = (env.payload[0] >> 6) as u64;
+        let me = ctx.node();
+        if announced == 0 {
+            // Re-send request from our round-`round` successor (fault
+            // injection only): repeat our highest announcement, if any.
+            let sent = self.nodes[me].lock().unwrap().sent[round];
+            if sent > 0 {
+                let succ = (me + (1 << round)) % ctx.nodes();
+                ctx.send(succ, H_TOKEN, &[round as u32 | ((sent as u32) << 6)]);
+            }
+            return;
+        }
         {
-            let mut st = self.nodes[ctx.node()].lock().unwrap();
-            st.arrived[round] += 1;
+            let mut st = self.nodes[me].lock().unwrap();
+            st.arrived[round] = st.arrived[round].max(announced);
         }
         ctx.wake(Self::wait_key(round));
     }

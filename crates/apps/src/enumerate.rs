@@ -28,8 +28,26 @@ const H_STOP: u32 = 4;
 const H_SOLN: u32 = 5;
 const H_STEAL: u32 = 6;
 const H_NOWORK: u32 = 7;
+/// Coordinator's acknowledgement of a solution report (fault injection
+/// only; fault-free runs never send it).
+const H_SOLN_ACK: u32 = 8;
 
 const WAIT_WORK: u32 = 0x6000_0000;
+const WAIT_DONE: u32 = 0x6000_0001;
+
+/// Initial timeout for the chaos-mode retry loops (idle wait, H_STOP
+/// re-broadcast, H_SOLN re-send); doubles per retry up to 16×. Never
+/// consulted when fault injection is inert.
+const RETRY_TIMEOUT: u64 = 100_000;
+
+/// Consecutive all-idle probe rounds with unchanging totals required to
+/// declare termination under fault injection, where `sent == processed`
+/// can never be reached if a work message was dropped.
+const STABLE_ROUNDS: u32 = 4;
+
+/// Report-wait spins after which a chaos-mode coordinator abandons a probe
+/// round (a probe or report was likely dropped) and starts a fresh one.
+const PROBE_SPIN_LIMIT: u32 = 2_000;
 
 /// Parameters of the enum benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,10 +130,16 @@ struct NodeState {
     /// the idle loop into a steal flood.
     steal_out: bool,
     solutions: u64,
+    /// Chaos mode: the coordinator acknowledged our solution report.
+    soln_acked: bool,
     // Coordinator (node 0) only:
     reports: Vec<Option<(u32, u32, bool)>>, // per node (sent, processed, idle)
     report_gen: u32,
     last_totals: Option<(u32, u32)>,
+    /// Chaos mode: consecutive all-idle rounds with unchanged totals.
+    stable_rounds: u32,
+    /// Which nodes have reported solutions (dedup for re-sent reports).
+    soln_from: Vec<bool>,
     soln_in: usize,
     soln_total: u64,
 }
@@ -144,6 +168,7 @@ impl EnumApp {
                 .map(|_| {
                     Mutex::new(NodeState {
                         reports: vec![None; nodes],
+                        soln_from: vec![false; nodes],
                         ..NodeState::default()
                     })
                 })
@@ -243,6 +268,7 @@ impl EnumApp {
             ctx.send(n, H_PROBE, &[gen]);
         }
         // Wait for all reports (they arrive via interrupts).
+        let mut spins = 0u32;
         loop {
             {
                 let st = self.nodes[0].lock().unwrap();
@@ -252,6 +278,12 @@ impl EnumApp {
                 if !st.queue.is_empty() {
                     return false; // new work arrived; abandon this round
                 }
+            }
+            spins += 1;
+            if spins > PROBE_SPIN_LIMIT && ctx.faults_active() {
+                // A probe or report was probably dropped; abandon the round
+                // (its generation number makes stragglers harmless).
+                return false;
             }
             ctx.compute(1_000);
         }
@@ -263,6 +295,23 @@ impl EnumApp {
             sent += r.0;
             processed += r.1;
             all_idle &= r.2;
+        }
+        if ctx.faults_active() {
+            // Dropped work messages make `sent == processed` unreachable,
+            // and duplicated ones can push `processed` past `sent`. Declare
+            // termination once everyone has stayed idle with unchanging
+            // totals for several consecutive rounds.
+            if all_idle && st.last_totals == Some((sent, processed)) {
+                st.stable_rounds += 1;
+            } else {
+                st.stable_rounds = 0;
+            }
+            st.last_totals = if all_idle {
+                Some((sent, processed))
+            } else {
+                None
+            };
+            return st.stable_rounds >= STABLE_ROUNDS;
         }
         if all_idle && sent == processed && st.last_totals == Some((sent, processed)) {
             return true;
@@ -339,6 +388,13 @@ impl Program for EnumApp {
                             break;
                         }
                         ctx.compute(5_000); // probe backoff
+                    } else if ctx.faults_active() {
+                        // Chaos mode: a steal reply or the final H_STOP may
+                        // have been dropped; wake periodically and allow a
+                        // fresh steal attempt.
+                        if !ctx.block_timeout(WAIT_WORK, RETRY_TIMEOUT) {
+                            self.nodes[me].lock().unwrap().steal_out = false;
+                        }
                     } else {
                         ctx.block(WAIT_WORK);
                     }
@@ -348,6 +404,7 @@ impl Program for EnumApp {
         // Solution aggregation: the infrequent synchronization.
         if me == 0 {
             let mine = self.nodes[0].lock().unwrap().solutions;
+            let mut timeout = RETRY_TIMEOUT;
             loop {
                 let mut st = self.nodes[0].lock().unwrap();
                 if st.soln_in == p - 1 {
@@ -356,11 +413,41 @@ impl Program for EnumApp {
                     break;
                 }
                 drop(st);
-                ctx.block(WAIT_WORK);
+                if ctx.faults_active() {
+                    // Chaos mode: an H_STOP or a solution report may have
+                    // been dropped. Nudge the laggards again on timeout.
+                    if !ctx.block_timeout(WAIT_WORK, timeout) {
+                        let missing: Vec<usize> = {
+                            let st = self.nodes[0].lock().unwrap();
+                            (1..p).filter(|&n| !st.soln_from[n]).collect()
+                        };
+                        for n in missing {
+                            ctx.send(n, H_STOP, &[]);
+                        }
+                        timeout = timeout.saturating_mul(2).min(RETRY_TIMEOUT * 16);
+                    }
+                } else {
+                    ctx.block(WAIT_WORK);
+                }
             }
         } else {
             let mine = self.nodes[me].lock().unwrap().solutions;
-            ctx.send(0, H_SOLN, &[(mine >> 32) as u32, mine as u32]);
+            let report = [(mine >> 32) as u32, mine as u32];
+            ctx.send(0, H_SOLN, &report);
+            if ctx.faults_active() {
+                // Chaos mode: re-send the report until the coordinator
+                // acknowledges it (it dedups by source).
+                let mut timeout = RETRY_TIMEOUT;
+                loop {
+                    if self.nodes[me].lock().unwrap().soln_acked {
+                        break;
+                    }
+                    if !ctx.block_timeout(WAIT_DONE, timeout) {
+                        ctx.send(0, H_SOLN, &report);
+                        timeout = timeout.saturating_mul(2).min(RETRY_TIMEOUT * 16);
+                    }
+                }
+            }
         }
     }
 
@@ -430,12 +517,30 @@ impl Program for EnumApp {
                 ctx.wake(WAIT_WORK);
             }
             H_SOLN => {
-                {
+                let fresh = {
                     let mut st = self.nodes[0].lock().unwrap();
-                    st.soln_total += ((env.payload[0] as u64) << 32) | env.payload[1] as u64;
-                    st.soln_in += 1;
+                    if st.soln_from[env.src] {
+                        false // re-sent report, already folded in
+                    } else {
+                        st.soln_from[env.src] = true;
+                        st.soln_total += ((env.payload[0] as u64) << 32) | env.payload[1] as u64;
+                        st.soln_in += 1;
+                        true
+                    }
+                };
+                if ctx.faults_active() {
+                    ctx.send(env.src, H_SOLN_ACK, &[]);
                 }
-                ctx.wake(WAIT_WORK);
+                if fresh {
+                    ctx.wake(WAIT_WORK);
+                }
+            }
+            H_SOLN_ACK => {
+                {
+                    let mut st = self.nodes[me].lock().unwrap();
+                    st.soln_acked = true;
+                }
+                ctx.wake(WAIT_DONE);
             }
             other => panic!("enum: unexpected handler {other}"),
         }

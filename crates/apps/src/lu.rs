@@ -83,6 +83,11 @@ impl LuApp {
         *self.residual.lock().unwrap()
     }
 
+    /// CRL request retries fired by the timeout protocol (chaos runs).
+    pub fn crl_retries(&self) -> u64 {
+        self.crl.retries()
+    }
+
     fn rid(&self, bi: usize, bj: usize) -> u32 {
         (bi * self.grid + bj) as u32
     }

@@ -5,14 +5,25 @@
 
 use std::sync::Mutex;
 
-use udm::{Envelope, UserCtx};
+use udm::{Cycles, Envelope, UserCtx};
 
 /// Handler word used by barrier tokens; applications must route it to
-/// [`MsgBarrier::handle`]. Payload: `[round]`.
+/// [`MsgBarrier::handle`]. Payload: `[round | (episode + 1) << 6]` — the
+/// episode is carried in the token so duplicated tokens are idempotent
+/// (arrival tracking keeps a high-water mark, not a count) and dropped
+/// tokens can simply be re-sent.
 pub const H_BARRIER: u32 = 0x7B;
 
+/// Initial re-send timeout for barrier tokens under fault injection;
+/// doubles per retry up to 64×. Never consulted when faults are inert.
+const RETRY_TIMEOUT: Cycles = 50_000;
+
 struct NodeState {
+    /// Per round: highest `episode + 1` a token has announced.
     arrived: Vec<u64>,
+    /// Per round: highest `episode + 1` this node has itself announced
+    /// (consulted to answer re-send requests under fault injection).
+    sent: Vec<u64>,
     episodes: u64,
 }
 
@@ -42,6 +53,7 @@ impl MsgBarrier {
                 .map(|_| {
                     Mutex::new(NodeState {
                         arrived: vec![0; rounds.max(1)],
+                        sent: vec![0; rounds.max(1)],
                         episodes: 0,
                     })
                 })
@@ -69,7 +81,13 @@ impl MsgBarrier {
         }
         for k in 0..self.rounds {
             let peer = (me + (1 << k)) % p;
-            ctx.send(peer, H_BARRIER, &[k as u32]);
+            let token = [k as u32 | (((episode + 1) as u32) << 6)];
+            {
+                let mut st = self.nodes[me].lock().unwrap();
+                st.sent[k] = st.sent[k].max(episode + 1);
+            }
+            ctx.send(peer, H_BARRIER, &token);
+            let mut timeout = RETRY_TIMEOUT;
             loop {
                 {
                     let st = self.nodes[me].lock().unwrap();
@@ -77,7 +95,21 @@ impl MsgBarrier {
                         break;
                     }
                 }
-                ctx.block(Self::key(k));
+                if ctx.faults_active() {
+                    // Chaos mode: our token, or our predecessor's, may have
+                    // been dropped. On timeout re-announce ours (receipt is
+                    // a high-water mark, so duplicates are harmless) and
+                    // ask the predecessor — who may long since have left
+                    // this barrier — to re-announce its token.
+                    if !ctx.block_timeout(Self::key(k), timeout) {
+                        ctx.send(peer, H_BARRIER, &token);
+                        let pred = (me + p - (1 << k)) % p;
+                        ctx.send(pred, H_BARRIER, &[k as u32]);
+                        timeout = timeout.saturating_mul(2).min(RETRY_TIMEOUT * 64);
+                    }
+                } else {
+                    ctx.block(Self::key(k));
+                }
             }
         }
     }
@@ -87,10 +119,22 @@ impl MsgBarrier {
         if env.handler.0 != H_BARRIER {
             return false;
         }
-        let round = env.payload[0] as usize;
+        let round = (env.payload[0] & 0x3F) as usize;
+        let announced = (env.payload[0] >> 6) as u64;
+        let me = ctx.node();
+        if announced == 0 {
+            // Re-send request from our round-`round` successor (fault
+            // injection only): repeat our highest announcement, if any.
+            let sent = self.nodes[me].lock().unwrap().sent[round];
+            if sent > 0 {
+                let succ = (me + (1 << round)) % ctx.nodes();
+                ctx.send(succ, H_BARRIER, &[round as u32 | ((sent as u32) << 6)]);
+            }
+            return true;
+        }
         {
-            let mut st = self.nodes[ctx.node()].lock().unwrap();
-            st.arrived[round] += 1;
+            let mut st = self.nodes[me].lock().unwrap();
+            st.arrived[round] = st.arrived[round].max(announced);
         }
         ctx.wake(Self::key(round));
         true

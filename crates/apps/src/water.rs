@@ -104,6 +104,11 @@ impl WaterApp {
         *self.checksum.lock().unwrap()
     }
 
+    /// CRL request retries fired by the timeout protocol (chaos runs).
+    pub fn crl_retries(&self) -> u64 {
+        self.crl.retries()
+    }
+
     fn initial(&self) -> Vec<Mol> {
         let mut rng = DetRng::new(self.params.seed);
         (0..self.params.molecules)

@@ -12,6 +12,7 @@
 //! | `fig9`   | Fig. 9: % buffered vs send interval for synth-N | `... --bin fig9` |
 //! | `fig10`  | Fig. 10: % buffered vs buffered-path cost | `... --bin fig10` |
 //! | `ablate` | design-choice ablations from DESIGN.md §6 | `... --bin ablate` |
+//! | `chaos`  | fault-injection sweep asserting delivery guarantees (docs/ROBUSTNESS.md) | `... --bin chaos` |
 //!
 //! # Command-line flags
 //!

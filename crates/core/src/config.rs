@@ -5,6 +5,7 @@ use std::sync::Arc;
 use fugu_glaze::CostModel;
 use fugu_net::NetworkConfig;
 use fugu_nic::NicConfig;
+use fugu_sim::fault::FaultPlan;
 use fugu_sim::Cycles;
 
 use crate::user::Program;
@@ -52,6 +53,11 @@ pub struct MachineConfig {
     /// atomicity guarantee for latency. FUGU's hardware has the same
     /// timer; this flag selects what the OS does with it.
     pub polling_watchdog: bool,
+    /// Deterministic fault-injection plan (chaos testing). The default plan
+    /// is inert and the machine's behaviour — down to the byte in every
+    /// report — is identical to a build without fault injection; each
+    /// injection site costs one relaxed atomic load when the plan is inert.
+    pub faults: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -69,6 +75,7 @@ impl Default for MachineConfig {
             overflow_suspend: 4,
             inject_window: 64,
             polling_watchdog: false,
+            faults: FaultPlan::default(),
         }
     }
 }

@@ -73,11 +73,13 @@
 //! ```
 
 pub mod config;
+pub mod invariant;
 pub mod machine;
 pub mod report;
 pub mod user;
 
 pub use config::{JobSpec, MachineConfig};
+pub use invariant::InvariantChecker;
 pub use machine::Machine;
 pub use report::{JobReport, NodeReport, RunReport};
 pub use user::{CtxKind, Envelope, Program, SimCall, SimResp, UserCtx};

@@ -31,6 +31,8 @@ use fugu_net::{Gid, Message, Network, NodeId};
 use fugu_nic::{HeadDisposition, Mode, Nic, UacMask};
 use fugu_sim::coro::{CoEvent, CoId, CoRuntime};
 use fugu_sim::event::{EventId, EventQueue};
+use fugu_sim::fault::{FaultInjector, NetFault};
+use fugu_sim::json::Json;
 use fugu_sim::stats::{Accum, Histogram, MetricsRegistry};
 use fugu_sim::trace::{CategoryMask, TraceEvent, Tracer};
 use fugu_sim::Cycles;
@@ -54,6 +56,10 @@ enum Ev {
     AtomTimeout { node: NodeId },
     /// Gang-scheduler quantum boundary on a node.
     Quantum { node: NodeId },
+    /// A `block_timeout` deadline expired without a wake.
+    BlockTimeout { node: NodeId, job: usize, key: u32 },
+    /// An injected NIC input-stall window ended: admit the held arrivals.
+    StallEnd { node: NodeId },
 }
 
 /// The two execution contexts of a process on a node.
@@ -81,6 +87,9 @@ enum TState {
     PausedCompute { remaining: Cycles },
     /// Blocked on a wake key.
     Blocked(u32),
+    /// Blocked on a wake key with a deadline; the pending
+    /// [`Ev::BlockTimeout`] is cancelled if the wake arrives first.
+    BlockedTimeout { key: u32, event: EventId },
     /// Main thread waiting for a `poll`-dispatched handler to complete.
     WaitingPoll,
     /// Handler context idle, awaiting the next upcall.
@@ -144,6 +153,9 @@ struct NodeState {
     cur_job: usize,
     /// Messages held in the network fabric because the NIC queue is full.
     backlog: VecDeque<Message>,
+    /// Arrivals deferred by an injected input-stall window, admitted in
+    /// order when the window's [`Ev::StallEnd`] fires.
+    stall_q: VecDeque<Message>,
     timer_ev: Option<EventId>,
     /// The thread currently occupying the CPU with an `ActiveCompute`.
     active: Option<(usize, Which)>,
@@ -218,6 +230,9 @@ pub struct Machine {
     nodes: Vec<NodeState>,
     foreground_remaining: usize,
     tracer: Tracer,
+    faults: FaultInjector,
+    /// Machine-wide message-uid counter; every launch stamps the next one.
+    next_uid: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -240,6 +255,7 @@ impl Machine {
         assert!(cfg.nodes > 0, "machine needs at least one node");
         let swap_cost = cfg.page_swap_cost();
         let tracer = Tracer::from_env();
+        let faults = FaultInjector::new(cfg.faults.clone(), mix_seed(cfg.seed, 0, 0, 2), cfg.nodes);
         let nodes = (0..cfg.nodes)
             .map(|n| {
                 let mut node = NodeState {
@@ -247,6 +263,7 @@ impl Machine {
                     free_at: 0,
                     cur_job: 0,
                     backlog: VecDeque::new(),
+                    stall_q: VecDeque::new(),
                     timer_ev: None,
                     active: None,
                     procs: Vec::new(),
@@ -257,6 +274,8 @@ impl Machine {
                 node.nic.attach_tracer(tracer.clone(), n);
                 node.frames.attach_tracer(tracer.clone(), n);
                 node.overflow.attach_tracer(tracer.clone(), n);
+                node.nic.attach_faults(faults.clone());
+                node.frames.attach_faults(faults.clone());
                 node
             })
             .collect();
@@ -272,6 +291,8 @@ impl Machine {
             nodes,
             foreground_remaining: 0,
             tracer,
+            faults,
+            next_uid: 0,
         }
     }
 
@@ -406,9 +427,11 @@ impl Machine {
             let Some((t, ev)) = self.queue.pop() else {
                 panic!(
                     "simulation deadlock at {} cycles: {} foreground job(s) unfinished \
-                     and no pending events (a main thread is blocked forever?)",
+                     and no pending events (a main thread is blocked forever?)\n\
+                     machine state dump:\n{}",
                     self.queue.now(),
-                    self.foreground_remaining
+                    self.foreground_remaining,
+                    self.diagnostic_dump().render_pretty()
                 );
             };
             assert!(
@@ -422,9 +445,80 @@ impl Machine {
                 Ev::AdvanceDone { node, job, which } => self.on_advance_done(node, job, which),
                 Ev::AtomTimeout { node } => self.on_atom_timeout(node),
                 Ev::Quantum { node } => self.on_quantum(node),
+                Ev::BlockTimeout { node, job, key } => self.on_block_timeout(node, job, key),
+                Ev::StallEnd { node } => self.on_stall_end(node),
             }
         }
         self.collect_report()
+    }
+
+    /// Structured snapshot of the machine for the deadlock diagnostic:
+    /// per-node processor/NIC/buffer state and per-job progress, rendered
+    /// as deterministic JSON so a wedged chaos run can be debugged from
+    /// its panic message alone.
+    fn diagnostic_dump(&self) -> Json {
+        let thread_state = |s: &TState| -> String {
+            match s {
+                TState::Unstarted => "unstarted".into(),
+                TState::Ready(_) => "ready".into(),
+                TState::ActiveCompute { until, .. } => format!("active-compute until={until}"),
+                TState::PausedCompute { remaining } => {
+                    format!("paused-compute remaining={remaining}")
+                }
+                TState::Blocked(key) => format!("blocked key={key:#x}"),
+                TState::BlockedTimeout { key, .. } => format!("blocked-timeout key={key:#x}"),
+                TState::WaitingPoll => "waiting-poll".into(),
+                TState::AwaitUpcall => "await-upcall".into(),
+                TState::Done => "done".into(),
+            }
+        };
+        let nodes = self.nodes.iter().enumerate().map(|(n, node)| {
+            let procs = node.procs.iter().enumerate().map(|(j, p)| {
+                Json::object([
+                    ("job", Json::from(self.jobs[j].spec.name.as_str())),
+                    (
+                        "mode",
+                        Json::from(match p.mode {
+                            DeliveryMode::Fast => "fast",
+                            DeliveryMode::Buffered => "buffered",
+                        }),
+                    ),
+                    ("main", Json::from(thread_state(&p.main.state))),
+                    ("handler", Json::from(thread_state(&p.handler.state))),
+                    ("buffered_msgs", Json::from(p.vbuf.len())),
+                    ("atomic", Json::from(p.atomic)),
+                    ("in_upcall", Json::from(p.in_upcall)),
+                ])
+            });
+            Json::object([
+                ("node", Json::from(n)),
+                ("cur_job", Json::from(node.cur_job)),
+                ("free_at", Json::from(node.free_at)),
+                ("nic_queue", Json::from(node.nic.queue_len())),
+                ("fabric_backlog", Json::from(node.backlog.len())),
+                ("stalled_arrivals", Json::from(node.stall_q.len())),
+                ("free_frames", Json::from(node.frames.free())),
+                ("procs", Json::array(procs)),
+            ])
+        });
+        let jobs = self.jobs.iter().map(|j| {
+            Json::object([
+                ("name", Json::from(j.spec.name.as_str())),
+                ("mains_remaining", Json::from(j.mains_remaining)),
+                ("suspended", Json::from(j.suspended)),
+                ("sent", Json::from(j.sent)),
+                ("delivered", Json::from(j.fast + j.buffered)),
+            ])
+        });
+        Json::object([
+            ("at", Json::from(self.queue.now())),
+            (
+                "outstanding_messages",
+                Json::from(self.net.injected() - self.net.delivered()),
+            ),
+            ("jobs", Json::array(jobs)),
+            ("nodes", Json::array(nodes)),
+        ])
     }
 
     // ==================================================================
@@ -432,6 +526,19 @@ impl Machine {
     // ==================================================================
 
     fn on_arrive(&mut self, n: NodeId, msg: Message) {
+        // An injected input-stall window defers arrivals to the window's
+        // end. Arrivals land behind any already-held messages (even if the
+        // window itself has lapsed but its drain event has not fired yet),
+        // so FIFO order survives every event-queue tie-break.
+        if !self.nodes[n].stall_q.is_empty() {
+            self.nodes[n].stall_q.push_back(msg);
+            return;
+        }
+        if let Some(until) = self.nodes[n].nic.input_stalled(self.queue.now()) {
+            self.nodes[n].stall_q.push_back(msg);
+            self.queue.schedule(until, Ev::StallEnd { node: n });
+            return;
+        }
         // The NIC emits `TraceEvent::MsgArrive` when the message enters its
         // queue; backlogged messages are traced on admission, not here.
         let node = &mut self.nodes[n];
@@ -442,6 +549,22 @@ impl Machine {
             // The interface is full: the message waits in the fabric,
             // preserving FIFO order behind earlier held messages.
             node.backlog.push_back(msg);
+        }
+        self.schedule_node(n);
+    }
+
+    /// Admits the arrivals a lapsed stall window was holding, in arrival
+    /// order. Held messages are not re-rolled against the stall plan — the
+    /// window already deferred them once.
+    fn on_stall_end(&mut self, n: NodeId) {
+        while let Some(msg) = self.nodes[n].stall_q.pop_front() {
+            let node = &mut self.nodes[n];
+            if node.backlog.is_empty() && !node.nic.queue_full() {
+                node.nic.enqueue(msg).expect("queue_full was checked");
+                self.net.deliver(n);
+            } else {
+                node.backlog.push_back(msg);
+            }
         }
         self.schedule_node(n);
     }
@@ -510,7 +633,13 @@ impl Machine {
             let sched = self.sched.as_ref().expect("running");
             (sched.job_at(n, t), sched.next_switch(n, t))
         };
-        self.queue.schedule(next, Ev::Quantum { node: n });
+        // Injected per-node jitter delays the *next* boundary; the gang
+        // scheduler itself is a pure function of time, so a late switch
+        // simply shortens the following quantum.
+        self.queue.schedule(
+            next + self.faults.quantum_jitter(n),
+            Ev::Quantum { node: n },
+        );
 
         let prev_job = self.nodes[n].cur_job;
         self.tracer
@@ -535,6 +664,19 @@ impl Machine {
             node.nic.kernel_clear_uac(UacMask::INTERRUPT_DISABLE);
         }
         self.reset_timer(n);
+        self.schedule_node(n);
+    }
+
+    /// A `block_timeout` deadline fired. The wake path cancels the pending
+    /// event, so a firing event always finds the thread still blocked.
+    fn on_block_timeout(&mut self, n: NodeId, j: usize, key: u32) {
+        let proc = &mut self.nodes[n].procs[j];
+        match proc.main.state {
+            TState::BlockedTimeout { key: k, .. } if k == key => {
+                proc.main.state = TState::Ready(SimResp::Bool(false));
+            }
+            ref other => panic!("BlockTimeout(key={key:#x}) fired for thread in state {other:?}"),
+        }
         self.schedule_node(n);
     }
 
@@ -588,7 +730,10 @@ impl Machine {
                 let proc = &self.nodes[n].procs[j];
                 if proc.mode == DeliveryMode::Buffered && proc.vbuf.is_empty() && !proc.in_upcall {
                     self.tracer
-                        .emit_with(CategoryMask::MODE, || TraceEvent::ModeExit { node: n });
+                        .emit_with(CategoryMask::MODE, || TraceEvent::ModeExit {
+                            node: n,
+                            job: j,
+                        });
                     self.nodes[n].procs[j].mode = DeliveryMode::Fast;
                     self.nodes[n].nic.set_divert(false);
                     continue;
@@ -601,6 +746,23 @@ impl Machine {
             ) && matches!(self.nodes[n].procs[j].handler.state, TState::AwaitUpcall)
                 && !self.nodes[n].procs[j].in_upcall
             {
+                // Injected handler page fault: the upcall would fault on
+                // entry, so the OS charges the fault and switches the
+                // process to buffered mode — the next loop iteration then
+                // diverts the message into the software buffer (§4.3).
+                if self.faults.handler_fault(n) {
+                    self.tracer
+                        .emit_with(CategoryMask::FAULT, || TraceEvent::FaultHandlerFault {
+                            node: n,
+                            job: j,
+                        });
+                    self.jobs[j].page_faults += 1;
+                    let now = self.queue.now();
+                    let node = &mut self.nodes[n];
+                    node.free_at = node.free_at.max(now) + self.cfg.costs.page_fault;
+                    self.enter_buffered(n, j);
+                    continue;
+                }
                 self.preempt_active(n);
                 self.dispatch_upcall(n, j);
                 continue;
@@ -727,9 +889,11 @@ impl Machine {
             .filter(|&j| j < self.jobs.len())
             .unwrap_or_else(|| panic!("message with unknown {} arrived", msg.gid()));
         let words = msg.payload().len();
+        let uid = msg.uid();
         let mut swapped = false;
         let cost;
         {
+            let swap = self.swap_cost;
             let node = &mut self.nodes[n];
             let t = node.free_at.max(now);
             let frames = &mut node.frames;
@@ -748,7 +912,7 @@ impl Machine {
                     // second network's path to backing store (§4.2).
                     proc.vbuf.insert_swapped(msg);
                     swapped = true;
-                    self.cfg.costs.buf_insert_min + self.swap_cost
+                    self.cfg.costs.buf_insert_min + swap
                 }
             };
             node.report.vbuf_inserts += 1;
@@ -757,6 +921,8 @@ impl Machine {
         }
         if swapped {
             self.jobs[j].swapped += 1;
+            // An injected second-network slowdown stretches the transfer.
+            self.nodes[n].free_at += self.faults.second_net_delay();
         }
         self.jobs[j].buffered += 1;
         self.tracer
@@ -765,6 +931,7 @@ impl Machine {
                 job: j,
                 words,
                 swapped,
+                uid,
             });
         self.enter_buffered(n, j);
         // Overflow control watches the free-frame count at every insert.
@@ -789,6 +956,9 @@ impl Machine {
                     node.procs[j].vbuf.page_out_all(frames)
                 };
                 self.nodes[n].free_at += pages * self.swap_cost;
+                if pages > 0 {
+                    self.nodes[n].free_at += self.faults.second_net_delay();
+                }
                 self.jobs[j].swapped += msgs;
                 self.maybe_unsuspend(n, j);
             }
@@ -811,6 +981,7 @@ impl Machine {
         let now = self.queue.now();
         let env;
         let t;
+        let uid;
         {
             let node = &mut self.nodes[n];
             let msg = node
@@ -818,6 +989,7 @@ impl Machine {
                 .dispose(Mode::User)
                 .expect("head was a matching user message");
             let words = msg.payload().len();
+            uid = msg.uid();
             t = node.free_at.max(now);
             // Charge the interrupt entry sequence plus the handler's
             // minimum (dispose + per-word reads); the handler body's own
@@ -845,6 +1017,7 @@ impl Machine {
                 node: n,
                 job: j,
                 words: env.payload.len(),
+                uid,
             });
         self.reset_timer(n);
         self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
@@ -857,6 +1030,7 @@ impl Machine {
         let env;
         let t;
         let swapped;
+        let uid;
         {
             let node = &mut self.nodes[n];
             let frames = &mut node.frames;
@@ -864,6 +1038,7 @@ impl Machine {
             let (msg, was_swapped) = proc.vbuf.pop(frames).expect("vbuf nonempty");
             let words = msg.payload().len();
             swapped = was_swapped;
+            uid = msg.uid();
             t = node.free_at.max(now);
             let mut cost = self.cfg.costs.buf_extract_total(words);
             if was_swapped {
@@ -879,12 +1054,16 @@ impl Machine {
                 payload: msg.payload().to_vec(),
             };
         }
+        if swapped {
+            self.nodes[n].free_at += self.faults.second_net_delay();
+        }
         self.tracer
             .emit_with(CategoryMask::BUFFER, || TraceEvent::BufferExtract {
                 node: n,
                 job: j,
                 words: env.payload.len(),
                 swapped,
+                uid,
             });
         self.maybe_unsuspend(n, j);
         self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
@@ -896,7 +1075,10 @@ impl Machine {
         let node = &mut self.nodes[n];
         if node.procs[j].mode != DeliveryMode::Buffered {
             self.tracer
-                .emit_with(CategoryMask::MODE, || TraceEvent::ModeEnter { node: n });
+                .emit_with(CategoryMask::MODE, || TraceEvent::ModeEnter {
+                    node: n,
+                    job: j,
+                });
         }
         node.procs[j].mode = DeliveryMode::Buffered;
         if node.cur_job == j {
@@ -1064,15 +1246,57 @@ impl Machine {
                 }
             }
 
-            SimCall::Wake(key) => {
-                let proc = &mut self.nodes[n].procs[j];
-                if matches!(proc.main.state, TState::Blocked(k) if k == key) {
-                    proc.main.state = TState::Ready(SimResp::Ok);
+            SimCall::BlockTimeout { key, timeout } => {
+                assert_eq!(which, Which::Main, "handlers must not block");
+                let has_permit = {
+                    let permits = self.nodes[n].procs[j].wake_permits.entry(key).or_insert(0);
+                    if *permits > 0 {
+                        *permits -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if has_permit {
+                    Some(SimResp::Bool(true))
                 } else {
-                    *proc.wake_permits.entry(key).or_insert(0) += 1;
+                    let deadline = self.nodes[n].free_at.max(self.queue.now()) + timeout;
+                    let event = self.queue.schedule(
+                        deadline,
+                        Ev::BlockTimeout {
+                            node: n,
+                            job: j,
+                            key,
+                        },
+                    );
+                    self.nodes[n].procs[j].main.state = TState::BlockedTimeout { key, event };
+                    None
+                }
+            }
+
+            SimCall::Wake(key) => {
+                // A wake on a deadline-block cancels its pending timeout.
+                let timed = match self.nodes[n].procs[j].main.state {
+                    TState::Blocked(k) if k == key => Some(None),
+                    TState::BlockedTimeout { key: k, event } if k == key => Some(Some(event)),
+                    _ => None,
+                };
+                match timed {
+                    Some(None) => {
+                        self.nodes[n].procs[j].main.state = TState::Ready(SimResp::Ok);
+                    }
+                    Some(Some(event)) => {
+                        self.queue.cancel(event);
+                        self.nodes[n].procs[j].main.state = TState::Ready(SimResp::Bool(true));
+                    }
+                    None => {
+                        *self.nodes[n].procs[j].wake_permits.entry(key).or_insert(0) += 1;
+                    }
                 }
                 Some(SimResp::Ok)
             }
+
+            SimCall::FaultsActive => Some(SimResp::Bool(self.faults.is_active())),
 
             SimCall::PollExtract => {
                 let e = self.do_poll_extract(n, j);
@@ -1121,7 +1345,7 @@ impl Machine {
                     if node.frames.allocate().is_err() {
                         // Pool exhausted: page something out over the
                         // second network first.
-                        node.free_at += self.swap_cost;
+                        node.free_at += self.swap_cost + self.faults.second_net_delay();
                     }
                     node.report.peak_frames = node.report.peak_frames.max(node.frames.peak_used());
                     node.procs[j].heap_pages.insert(page);
@@ -1172,19 +1396,14 @@ impl Machine {
         node.free_at += self.cfg.costs.send_total(words);
         let msg = Message::new(n, dst, self.jobs[j].gid, handler, payload);
         node.nic.describe(msg);
+        self.next_uid += 1;
+        let uid = self.next_uid;
         let stamped = node
             .nic
             .launch(Mode::User)
             .expect("user GIDs are never the kernel GID")
-            .expect("descriptor was just written");
-        let arrival = self.net.inject(node.free_at, &stamped);
-        self.queue.schedule(
-            arrival,
-            Ev::Arrive {
-                node: dst,
-                msg: stamped,
-            },
-        );
+            .expect("descriptor was just written")
+            .with_uid(uid);
         self.jobs[j].sent += 1;
         self.tracer
             .emit_with(CategoryMask::MSG, || TraceEvent::MsgLaunch {
@@ -1192,7 +1411,68 @@ impl Machine {
                 job: j,
                 dst,
                 words,
+                uid,
             });
+        // The sender has paid the full launch cost by this point; the fault
+        // injector decides what the *network* does with the message.
+        match self.faults.on_send(n, dst) {
+            NetFault::Deliver => {
+                let arrival = self.net.inject(self.nodes[n].free_at, &stamped);
+                self.queue.schedule(
+                    arrival,
+                    Ev::Arrive {
+                        node: dst,
+                        msg: stamped,
+                    },
+                );
+            }
+            NetFault::Drop => {
+                // Never injected: no in-flight accounting, no arrival.
+                self.tracer
+                    .emit_with(CategoryMask::FAULT, || TraceEvent::FaultDrop {
+                        node: n,
+                        dst,
+                        uid,
+                    });
+            }
+            NetFault::Duplicate => {
+                self.tracer
+                    .emit_with(CategoryMask::FAULT, || TraceEvent::FaultDuplicate {
+                        node: n,
+                        dst,
+                        uid,
+                    });
+                for _ in 0..2 {
+                    let arrival = self.net.inject(self.nodes[n].free_at, &stamped);
+                    self.queue.schedule(
+                        arrival,
+                        Ev::Arrive {
+                            node: dst,
+                            msg: stamped.clone(),
+                        },
+                    );
+                }
+            }
+            NetFault::Delay(extra) => {
+                self.tracer
+                    .emit_with(CategoryMask::FAULT, || TraceEvent::FaultDelay {
+                        node: n,
+                        dst,
+                        uid,
+                        extra,
+                    });
+                let arrival = self
+                    .net
+                    .inject_delayed(self.nodes[n].free_at, &stamped, extra);
+                self.queue.schedule(
+                    arrival,
+                    Ev::Arrive {
+                        node: dst,
+                        msg: stamped,
+                    },
+                );
+            }
+        }
     }
 
     /// `extract` against whichever delivery case is active — the essence of
@@ -1207,6 +1487,7 @@ impl Machine {
         if via_buffer {
             // Transparent: the base register points at the software buffer.
             let swapped;
+            let uid;
             let env = {
                 let node = &mut self.nodes[n];
                 let frames = &mut node.frames;
@@ -1214,6 +1495,7 @@ impl Machine {
                 let (msg, was_swapped) = proc.vbuf.pop(frames)?;
                 let words = msg.payload().len();
                 swapped = was_swapped;
+                uid = msg.uid();
                 let mut cost = self.cfg.costs.buf_extract_total(words);
                 if was_swapped {
                     cost += self.swap_cost;
@@ -1225,16 +1507,21 @@ impl Machine {
                     payload: msg.payload().to_vec(),
                 }
             };
+            if swapped {
+                self.nodes[n].free_at += self.faults.second_net_delay();
+            }
             self.tracer
                 .emit_with(CategoryMask::BUFFER, || TraceEvent::BufferExtract {
                     node: n,
                     job: j,
                     words: env.payload.len(),
                     swapped,
+                    uid,
                 });
             self.maybe_unsuspend(n, j);
             Some(env)
         } else {
+            let uid;
             let env = {
                 let node = &mut self.nodes[n];
                 if !node.nic.message_available() {
@@ -1242,6 +1529,7 @@ impl Machine {
                 }
                 let msg = node.nic.dispose(Mode::User).expect("flag checked");
                 let words = msg.payload().len();
+                uid = msg.uid();
                 node.free_at += self.cfg.costs.rx_per_word * words as Cycles;
                 Envelope {
                     src: msg.src(),
@@ -1255,6 +1543,7 @@ impl Machine {
                     node: n,
                     job: j,
                     words: env.payload.len(),
+                    uid,
                 });
             self.reset_timer(n);
             Some(env)
@@ -1272,6 +1561,7 @@ impl Machine {
             let env;
             let t;
             let swapped;
+            let uid;
             {
                 let node = &mut self.nodes[n];
                 let frames = &mut node.frames;
@@ -1280,6 +1570,7 @@ impl Machine {
                     return PollOutcome::Empty;
                 };
                 swapped = was_swapped;
+                uid = msg.uid();
                 let words = msg.payload().len();
                 t = node.free_at;
                 let mut cost = self.cfg.costs.buf_extract_total(words);
@@ -1300,12 +1591,16 @@ impl Machine {
                     payload: msg.payload().to_vec(),
                 };
             }
+            if swapped {
+                self.nodes[n].free_at += self.faults.second_net_delay();
+            }
             self.tracer
                 .emit_with(CategoryMask::BUFFER, || TraceEvent::BufferExtract {
                     node: n,
                     job: j,
                     words: env.payload.len(),
                     swapped,
+                    uid,
                 });
             self.maybe_unsuspend(n, j);
             self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
@@ -1313,6 +1608,7 @@ impl Machine {
         } else {
             let env;
             let t;
+            let uid;
             {
                 let node = &mut self.nodes[n];
                 if !node.nic.message_available() {
@@ -1320,6 +1616,7 @@ impl Machine {
                 }
                 let msg = node.nic.dispose(Mode::User).expect("flag checked");
                 let words = msg.payload().len();
+                uid = msg.uid();
                 t = node.free_at;
                 node.free_at += self.cfg.costs.poll_dispatch
                     + self.cfg.costs.poll_null_handler
@@ -1344,6 +1641,7 @@ impl Machine {
                     node: n,
                     job: j,
                     words: env.payload.len(),
+                    uid,
                 });
             self.reset_timer(n);
             self.run_burst(n, j, Which::Handler, SimResp::Upcall(env));
@@ -1434,6 +1732,22 @@ impl Machine {
         }
         let mut metrics = MetricsRegistry::new();
         metrics.counter("machine.end_time").add(self.queue.now());
+        // Fault totals appear only under an active plan so that fault-free
+        // reports are byte-identical to builds predating fault injection.
+        if self.faults.is_active() {
+            let c = self.faults.counts();
+            metrics.counter("faults.dropped").add(c.dropped);
+            metrics.counter("faults.duplicated").add(c.duplicated);
+            metrics.counter("faults.delayed").add(c.delayed);
+            metrics
+                .counter("faults.second_net_delays")
+                .add(c.second_net_delays);
+            metrics.counter("faults.nic_stalls").add(c.nic_stalls);
+            metrics.counter("faults.frame_fails").add(c.frame_fails);
+            metrics
+                .counter("faults.handler_faults")
+                .add(c.handler_faults);
+        }
         for j in &self.jobs {
             let pre = format!("job.{}", j.spec.name);
             metrics.counter(&format!("{pre}.sent")).add(j.sent);

@@ -74,8 +74,22 @@ pub enum SimCall {
     EndAtomic,
     /// Deschedule this thread until [`SimCall::Wake`] on the same key.
     Block(u32),
+    /// Like [`SimCall::Block`] but with a deadline: responds `Bool(true)`
+    /// if woken by [`SimCall::Wake`], `Bool(false)` if `timeout` cycles
+    /// elapse first (the wake permit is then left banked for a later
+    /// block). Used by retry protocols under fault injection.
+    BlockTimeout {
+        /// Wake key, as for [`SimCall::Block`].
+        key: u32,
+        /// Cycles to wait before giving up.
+        timeout: Cycles,
+    },
     /// Wake the main thread if blocked on the key (otherwise bank a permit).
     Wake(u32),
+    /// Ask whether the machine is running with an active fault-injection
+    /// plan. Programs use this to gate retry/timeout machinery so that
+    /// fault-free runs take exactly the pre-fault-injection code path.
+    FaultsActive,
     /// Read the current simulated time.
     Now,
     /// Handler context only: report completion of the previous handler and
@@ -350,6 +364,37 @@ impl<'a> UserCtx<'a> {
         match self.co.call(SimCall::Block(key)) {
             SimResp::Ok => {}
             other => unreachable!("bad response to Block: {other:?}"),
+        }
+    }
+
+    /// Like [`UserCtx::block`] but gives up after `timeout` cycles. Returns
+    /// `true` if woken by [`UserCtx::wake`], `false` on timeout. A banked
+    /// wake permit satisfies the block immediately; a wake that arrives
+    /// after the timeout stays banked for the next block on the key.
+    ///
+    /// This is the foundation of the CRL retry protocol: a requester blocks
+    /// with a deadline and, on timeout, re-sends its (idempotent,
+    /// sequence-numbered) request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from a handler (handlers must not block).
+    pub fn block_timeout(&mut self, key: u32, timeout: Cycles) -> bool {
+        assert_eq!(self.kind, CtxKind::Main, "handlers must not block");
+        match self.co.call(SimCall::BlockTimeout { key, timeout }) {
+            SimResp::Bool(b) => b,
+            other => unreachable!("bad response to BlockTimeout: {other:?}"),
+        }
+    }
+
+    /// Whether the machine is running with an active fault-injection plan.
+    /// Programs gate their retry/timeout machinery on this so that
+    /// fault-free runs are byte-identical to builds predating fault
+    /// injection.
+    pub fn faults_active(&mut self) -> bool {
+        match self.co.call(SimCall::FaultsActive) {
+            SimResp::Bool(b) => b,
+            other => unreachable!("bad response to FaultsActive: {other:?}"),
         }
     }
 

@@ -36,7 +36,7 @@
 //! invalidations and recalls are *deferred* until the matching `end_*`
 //! (as in real CRL), so data is never torn mid-access.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Mutex;
 
 use udm::{Cycles, Envelope, NodeId, UserCtx};
@@ -47,16 +47,22 @@ pub type Rid = u32;
 /// Handler-word values used by the protocol. Applications sharing a job
 /// with a [`Crl`] must not use handler ids in `0xC0..=0xC5`.
 pub mod handlers {
-    /// Read or write request to the home node. Payload `[rid, write]`.
+    /// Read or write request to the home node. Payload
+    /// `[rid, write | seq << 1]` — `seq` is a per-requester sequence number
+    /// that makes retried requests idempotent at the directory.
     pub const REQ: u32 = 0xC0;
-    /// Data grant chunk to a requester. Payload `[rid, write, offset, total, data...]`.
+    /// Data grant chunk to a requester. Payload
+    /// `[rid, write | seq << 1, offset, total, data...]`; `seq` echoes the
+    /// request so a requester can discard stale re-sent grants.
     pub const DATA: u32 = 0xC1;
     /// Invalidate a shared copy. Payload `[rid]`.
     pub const INV: u32 = 0xC2;
     /// Invalidation acknowledgement. Payload `[rid, sharer]`.
     pub const INV_ACK: u32 = 0xC3;
-    /// Recall an exclusive copy. Payload `[rid, full]` (`full=0` downgrades
-    /// to shared for a read, `full=1` invalidates for a write).
+    /// Recall an exclusive copy. Payload `[rid, full | seq << 1]` (`full=0`
+    /// downgrades to shared for a read, `full=1` invalidates for a write;
+    /// `seq` names the grant being recalled so an owner that has not yet
+    /// observed that grant defers rather than flushing stale data).
     pub const RECALL: u32 = 0xC4;
     /// Flush chunk from a recalled owner back to home. Payload
     /// `[rid, full, offset, total, data...]`.
@@ -81,6 +87,12 @@ pub struct CrlCosts {
     pub protocol: Cycles,
     /// An `end_*` with no deferred work.
     pub end: Cycles,
+    /// Initial retry timeout for a `start_*` miss when fault injection is
+    /// active: if the grant has not arrived after this many cycles the
+    /// request is re-sent (same sequence number — idempotent), with
+    /// exponential backoff capped at 64× this value. Never consulted when
+    /// the machine's fault plan is inert.
+    pub retry_timeout: Cycles,
 }
 
 impl Default for CrlCosts {
@@ -90,6 +102,7 @@ impl Default for CrlCosts {
             miss: 80,
             protocol: 90,
             end: 12,
+            retry_timeout: 50_000,
         }
     }
 }
@@ -130,28 +143,43 @@ struct RegionLocal {
     /// could otherwise livelock two contending writers).
     wanted: bool,
     deferred: Option<Deferred>,
-    /// Fill count while a grant is being received.
-    filling: usize,
+    /// Words received of the grant currently being filled.
+    fill: usize,
+    /// Chunk offsets already applied to the current fill (duplicate chunks
+    /// under fault injection are counted once).
+    got: BTreeSet<usize>,
+    /// Sequence number of this node's most recent request for the region.
+    /// A retry re-sends the same number; a fresh miss increments it.
+    req_seq: u32,
+    /// Sequence number of the last *remote* grant whose data completed
+    /// here. A `RECALL` naming a newer grant is deferred: the data it wants
+    /// has not arrived yet (the grant may have been dropped and will be
+    /// re-sent), so flushing now would hand home stale words.
+    grant_seen: u32,
 }
 
 /// A queued request at the home directory.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct DirReq {
     node: NodeId,
     write: bool,
+    seq: u32,
 }
 
 /// What the directory is waiting for before it can serve the queue head.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum DirBusy {
     Idle,
-    /// Waiting for a recalled owner's flush (`fill` words received so far).
+    /// Waiting for a recalled owner's flush. Only chunks from `from` are
+    /// accepted; `got` dedups re-sent chunks and `fill` counts fresh words.
     AwaitFlush {
+        from: NodeId,
         fill: usize,
+        got: BTreeSet<usize>,
     },
-    /// Waiting for invalidation acknowledgements.
+    /// Waiting for invalidation acknowledgements from `pending` sharers.
     AwaitAcks {
-        left: usize,
+        pending: BTreeSet<NodeId>,
     },
 }
 
@@ -162,6 +190,10 @@ struct Dir {
     owner: Option<NodeId>,
     busy: DirBusy,
     queue: VecDeque<DirReq>,
+    /// Per-requester sequence number of the last grant issued. A re-request
+    /// at or below this is a retry of something already served: the grant
+    /// is re-sent from the master copy instead of being served twice.
+    served: BTreeMap<NodeId, u32>,
 }
 
 #[derive(Debug, Default)]
@@ -175,6 +207,8 @@ struct CrlNode {
     early_reqs: HashMap<Rid, Vec<DirReq>>,
     /// Protocol statistics: messages handled.
     proto_msgs: u64,
+    /// Request retries fired by this node's timeout protocol.
+    retries: u64,
 }
 
 /// A region-based software DSM instance for one job.
@@ -234,7 +268,10 @@ impl Crl {
                 hold: None,
                 wanted: false,
                 deferred: None,
-                filling: 0,
+                fill: 0,
+                got: BTreeSet::new(),
+                req_seq: 0,
+                grant_seen: 0,
             },
         );
         assert!(prev.is_none(), "region {rid} already exists on node {me}");
@@ -254,6 +291,7 @@ impl Crl {
                     owner: None,
                     busy: DirBusy::Idle,
                     queue,
+                    served: BTreeMap::new(),
                 },
             );
             drop(st);
@@ -281,6 +319,7 @@ impl Crl {
     fn start(&self, ctx: &mut UserCtx<'_>, rid: Rid, write: bool) {
         let me = ctx.node();
         loop {
+            let seq;
             // Fast path: local state already suffices.
             {
                 let mut st = self.nodes[me].lock().unwrap();
@@ -298,17 +337,36 @@ impl Crl {
                 if ok {
                     region.hold = Some(if write { Hold::Write } else { Hold::Read });
                     region.wanted = false; // any deferred recall runs at end_*
+                    region.fill = 0;
+                    region.got.clear();
                     drop(st);
                     ctx.compute(self.costs.hit);
                     return;
                 }
-                region.filling = 0;
+                region.fill = 0;
+                region.got.clear();
                 region.wanted = true;
+                region.req_seq += 1;
+                seq = region.req_seq;
             }
             // Miss: ask the home node and sleep until the grant lands.
             ctx.compute(self.costs.miss);
-            ctx.send(self.home(rid), handlers::REQ, &[rid, write as u32]);
-            ctx.block(Self::key(rid));
+            let req = [rid, write as u32 | (seq << 1)];
+            ctx.send(self.home(rid), handlers::REQ, &req);
+            if ctx.faults_active() {
+                // Chaos mode: the request or its grant may be dropped. Sleep
+                // with a timeout and re-send the same request (same sequence
+                // number — the directory dedups) with exponential backoff.
+                let mut timeout = self.costs.retry_timeout.max(1);
+                let cap = timeout.saturating_mul(64);
+                while !ctx.block_timeout(Self::key(rid), timeout) {
+                    self.nodes[me].lock().unwrap().retries += 1;
+                    ctx.send(self.home(rid), handlers::REQ, &req);
+                    timeout = timeout.saturating_mul(2).min(cap);
+                }
+            } else {
+                ctx.block(Self::key(rid));
+            }
             // Re-check: an invalidation may have raced the wakeup.
         }
     }
@@ -418,6 +476,12 @@ impl Crl {
         self.nodes[node].lock().unwrap().proto_msgs
     }
 
+    /// Total request retries fired by the timeout protocol, summed over all
+    /// nodes. Always zero when fault injection is inert.
+    pub fn retries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.lock().unwrap().retries).sum()
+    }
+
     // ------------------------------------------------------------------
     // Protocol handlers
     // ------------------------------------------------------------------
@@ -441,18 +505,84 @@ impl Crl {
 
     fn on_req(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
         let rid = env.payload[0];
-        let write = env.payload[1] != 0;
+        let write = env.payload[1] & 1 != 0;
+        let seq = env.payload[1] >> 1;
         let me = ctx.node();
-        let created = {
+        enum ReqAction {
+            /// Stale or duplicate; nothing to do.
+            Ignore,
+            /// Fresh request was queued; serve the directory.
+            Pump,
+            /// Retry of an already-issued grant: re-send its data.
+            Resend { data: Vec<u32> },
+            /// Retry of the in-service request: the recall/invalidations it
+            /// is waiting on may have been lost, so re-drive them.
+            Redrive {
+                recall: Option<(NodeId, bool, u32)>,
+                invs: Vec<NodeId>,
+            },
+        }
+        let req = DirReq {
+            node: env.src,
+            write,
+            seq,
+        };
+        let action = {
             let mut st = self.nodes[me].lock().unwrap();
-            let req = DirReq {
-                node: env.src,
-                write,
-            };
             match st.dir.get_mut(&rid) {
                 Some(dir) => {
-                    dir.queue.push_back(req);
-                    true
+                    let served = dir.served.get(&req.node).copied().unwrap_or(0);
+                    if seq < served {
+                        // The requester has since moved on to a newer
+                        // request; this duplicate is ancient.
+                        ReqAction::Ignore
+                    } else if dir.queue.contains(&req) {
+                        // Retry of a still-queued request. If it is the one
+                        // being served, whatever the directory is waiting
+                        // for may have been dropped: re-issue it.
+                        if dir.queue.front() == Some(&req) {
+                            match &dir.busy {
+                                DirBusy::AwaitFlush { from, .. } => ReqAction::Redrive {
+                                    recall: Some((
+                                        *from,
+                                        req.write,
+                                        dir.served.get(from).copied().unwrap_or(0),
+                                    )),
+                                    invs: Vec::new(),
+                                },
+                                DirBusy::AwaitAcks { pending } => ReqAction::Redrive {
+                                    recall: None,
+                                    invs: pending.iter().copied().filter(|&s| s != me).collect(),
+                                },
+                                DirBusy::Idle => ReqAction::Ignore,
+                            }
+                        } else {
+                            ReqAction::Ignore
+                        }
+                    } else if seq == served
+                        && ((write && dir.owner == Some(req.node))
+                            || (!write
+                                && dir.sharers.contains(&req.node)
+                                && match &dir.busy {
+                                    // Not while this very copy is being
+                                    // invalidated: the re-sent data would
+                                    // race the INV and resurrect the copy.
+                                    DirBusy::AwaitAcks { pending } => !pending.contains(&req.node),
+                                    _ => true,
+                                }))
+                    {
+                        // Grant already issued but evidently lost in
+                        // flight; the master still reflects it (the owner
+                        // has not flushed, readers share the master).
+                        ReqAction::Resend {
+                            data: dir.master.clone(),
+                        }
+                    } else {
+                        // Fresh request (or a grant that was revoked before
+                        // the requester ever observed it): queue it.
+                        dir.queue.push_back(req);
+                        ReqAction::Pump
+                    }
                 }
                 None => {
                     assert_eq!(
@@ -462,13 +592,53 @@ impl Crl {
                     );
                     // Our main thread has not run `create` yet (skewed
                     // startup); stash until it does.
-                    st.early_reqs.entry(rid).or_default().push(req);
-                    false
+                    let early = st.early_reqs.entry(rid).or_default();
+                    if !early.contains(&req) {
+                        early.push(req);
+                    }
+                    ReqAction::Ignore
                 }
             }
         };
-        if created {
-            self.pump(ctx, rid);
+        match action {
+            ReqAction::Ignore => {}
+            ReqAction::Pump => self.pump(ctx, rid),
+            ReqAction::Resend { data } => {
+                self.send_chunks(
+                    ctx,
+                    req.node,
+                    handlers::DATA,
+                    rid,
+                    write as u32 | (seq << 1),
+                    &data,
+                );
+            }
+            ReqAction::Redrive { recall, invs } => {
+                if let Some((to, full, rseq)) = recall {
+                    if to == me {
+                        // Home's own recalled copy. While the hold (or the
+                        // pending deferred recall) is live, the local end_*
+                        // will flush when it runs. If both are gone, end_*
+                        // already ran and its FLUSH — a loopback message,
+                        // just as droppable as any other — was lost:
+                        // re-issue it. Idempotent: state and data are
+                        // unchanged since the first flush.
+                        let lost = {
+                            let st = self.nodes[me].lock().unwrap();
+                            let region = &st.local[&rid];
+                            region.hold.is_none() && region.deferred.is_none()
+                        };
+                        if lost {
+                            self.do_flush(ctx, rid, full);
+                        }
+                    } else {
+                        ctx.send(to, handlers::RECALL, &[rid, full as u32 | (rseq << 1)]);
+                    }
+                }
+                for s in invs {
+                    ctx.send(s, handlers::INV, &[rid]);
+                }
+            }
         }
     }
 
@@ -478,7 +648,7 @@ impl Crl {
         loop {
             enum Action {
                 Done,
-                Recall { to: NodeId, full: bool },
+                Recall { to: NodeId, full: bool, seq: u32 },
                 Invalidate { to: Vec<NodeId> },
                 Grant { req: DirReq, data: Vec<u32> },
             }
@@ -500,7 +670,11 @@ impl Crl {
                             if region.hold.is_some() || region.wanted {
                                 region.deferred = Some(Deferred::Recall { full: req.write });
                                 let dir = st.dir.get_mut(&rid).expect("home");
-                                dir.busy = DirBusy::AwaitFlush { fill: 0 };
+                                dir.busy = DirBusy::AwaitFlush {
+                                    from: me,
+                                    fill: 0,
+                                    got: BTreeSet::new(),
+                                };
                                 Action::Done
                             } else {
                                 let data = region.data.clone();
@@ -518,10 +692,16 @@ impl Crl {
                                 continue; // retry the head request
                             }
                         } else {
-                            dir.busy = DirBusy::AwaitFlush { fill: 0 };
+                            let seq = dir.served.get(&o).copied().unwrap_or(0);
+                            dir.busy = DirBusy::AwaitFlush {
+                                from: o,
+                                fill: 0,
+                                got: BTreeSet::new(),
+                            };
                             Action::Recall {
                                 to: o,
                                 full: req.write,
+                                seq,
                             }
                         }
                     } else if req.write {
@@ -533,7 +713,9 @@ impl Crl {
                             .collect();
                         let home_shared = dir.sharers.contains(&me);
                         if !others.is_empty() {
-                            dir.busy = DirBusy::AwaitAcks { left: others.len() };
+                            dir.busy = DirBusy::AwaitAcks {
+                                pending: others.iter().copied().collect(),
+                            };
                             Action::Invalidate { to: others }
                         } else {
                             // Only the requester and/or home share it.
@@ -545,7 +727,9 @@ impl Crl {
                                     region.deferred = Some(Deferred::Inv);
                                     // Treat home as a pending ack.
                                     let dir = st.dir.get_mut(&rid).expect("home");
-                                    dir.busy = DirBusy::AwaitAcks { left: 1 };
+                                    dir.busy = DirBusy::AwaitAcks {
+                                        pending: std::iter::once(me).collect(),
+                                    };
                                     Action::Done
                                 } else {
                                     region.state = LState::Invalid;
@@ -558,6 +742,7 @@ impl Crl {
                                 dir.queue.pop_front();
                                 dir.sharers.clear();
                                 dir.owner = Some(req.node);
+                                dir.served.insert(req.node, req.seq);
                                 Action::Grant {
                                     req,
                                     data: dir.master.clone(),
@@ -567,6 +752,7 @@ impl Crl {
                     } else {
                         dir.queue.pop_front();
                         dir.sharers.insert(req.node);
+                        dir.served.insert(req.node, req.seq);
                         Action::Grant {
                             req,
                             data: dir.master.clone(),
@@ -578,8 +764,8 @@ impl Crl {
             };
             match action {
                 Action::Done => return,
-                Action::Recall { to, full } => {
-                    ctx.send(to, handlers::RECALL, &[rid, full as u32]);
+                Action::Recall { to, full, seq } => {
+                    ctx.send(to, handlers::RECALL, &[rid, full as u32 | (seq << 1)]);
                     return;
                 }
                 Action::Invalidate { to } => {
@@ -603,7 +789,14 @@ impl Crl {
                         drop(st);
                         ctx.wake(Self::key(rid));
                     } else {
-                        self.send_chunks(ctx, req.node, handlers::DATA, rid, req.write, &data);
+                        self.send_chunks(
+                            ctx,
+                            req.node,
+                            handlers::DATA,
+                            rid,
+                            req.write as u32 | (req.seq << 1),
+                            &data,
+                        );
                     }
                     // Loop: reads may continue to be granted.
                 }
@@ -617,18 +810,18 @@ impl Crl {
         dst: NodeId,
         handler: u32,
         rid: Rid,
-        flag: bool,
+        flag: u32,
         data: &[u32],
     ) {
         let total = data.len() as u32;
         if data.is_empty() {
-            ctx.send(dst, handler, &[rid, flag as u32, 0, 0]);
+            ctx.send(dst, handler, &[rid, flag, 0, 0]);
             return;
         }
         let mut off = 0usize;
         while off < data.len() {
             let end = (off + CHUNK_WORDS).min(data.len());
-            let mut payload = vec![rid, flag as u32, off as u32, total];
+            let mut payload = vec![rid, flag, off as u32, total];
             payload.extend_from_slice(&data[off..end]);
             ctx.send(dst, handler, &payload);
             off = end;
@@ -637,7 +830,8 @@ impl Crl {
 
     fn on_data(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
         let rid = env.payload[0];
-        let write = env.payload[1] != 0;
+        let write = env.payload[1] & 1 != 0;
+        let seq = env.payload[1] >> 1;
         let off = env.payload[2] as usize;
         let total = env.payload[3] as usize;
         let words = &env.payload[4..];
@@ -645,14 +839,26 @@ impl Crl {
         let complete = {
             let mut st = self.nodes[me].lock().unwrap();
             let region = st.local.get_mut(&rid).expect("grant for unknown region");
+            if !region.wanted || seq != region.req_seq || region.grant_seen >= seq {
+                // A re-sent grant for a request we have since satisfied or
+                // superseded (`grant_seen` catches a duplicate of a grant
+                // already completed but not yet claimed by the main
+                // thread); installing it would resurrect a revoked copy or
+                // bank a spurious wakeup for the next miss.
+                return;
+            }
             debug_assert_eq!(total, region.len, "grant size mismatch for region {rid}");
             if region.data.len() != total {
                 region.data = vec![0; total];
             }
-            region.data[off..off + words.len()].copy_from_slice(words);
-            region.filling += words.len();
-            if region.filling >= total {
-                region.filling = 0;
+            if region.got.insert(off) {
+                region.data[off..off + words.len()].copy_from_slice(words);
+                region.fill += words.len();
+            }
+            if region.fill >= total {
+                region.fill = 0;
+                region.got.clear();
+                region.grant_seen = seq;
                 region.state = if write {
                     LState::Exclusive
                 } else {
@@ -683,7 +889,12 @@ impl Crl {
                 region.deferred = Some(Deferred::Inv);
                 true
             } else {
-                region.state = LState::Invalid;
+                // Idempotent: a duplicate INV finds the copy already
+                // Invalid and simply acks again (the first ack may have
+                // been dropped).
+                if region.state == LState::Shared {
+                    region.state = LState::Invalid;
+                }
                 false
             }
         };
@@ -715,41 +926,78 @@ impl Crl {
 
     fn on_ack_internal(&self, ctx: &mut UserCtx<'_>, rid: Rid, sharer: NodeId) {
         let me = ctx.node();
-        {
+        let done = {
             let mut st = self.nodes[me].lock().unwrap();
             let dir = st.dir.get_mut(&rid).expect("ack at non-home");
             dir.sharers.remove(&sharer);
-            match dir.busy {
-                DirBusy::AwaitAcks { left } => {
-                    dir.busy = if left <= 1 {
-                        DirBusy::Idle
-                    } else {
-                        DirBusy::AwaitAcks { left: left - 1 }
-                    };
-                }
-                _ => panic!("unexpected INV_ACK for region {rid}"),
+            // Duplicate acks (re-sent after a re-driven INV, or duplicated
+            // by the network) are ignored: only an ack actually pending
+            // advances the protocol.
+            let done = match &mut dir.busy {
+                DirBusy::AwaitAcks { pending } => pending.remove(&sharer) && pending.is_empty(),
+                _ => false,
+            };
+            if done {
+                dir.busy = DirBusy::Idle;
             }
+            done
+        };
+        if done {
+            self.pump(ctx, rid);
         }
-        self.pump(ctx, rid);
     }
 
     fn on_recall(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
         let rid = env.payload[0];
-        let full = env.payload[1] != 0;
+        let full = env.payload[1] & 1 != 0;
+        let seq = env.payload[1] >> 1;
         let me = ctx.node();
-        let deferred = {
+        enum RecallAction {
+            /// Flush later (at `end_*`, or once the in-flight grant lands).
+            Defer,
+            /// Normal path: flush now, downgrading local state.
+            Flush,
+            /// The flush was already performed but evidently lost; re-send
+            /// the same (unchanged) data without touching local state.
+            Reflush(Vec<u32>),
+        }
+        let action = {
             let mut st = self.nodes[me].lock().unwrap();
             let region = st.local.get_mut(&rid).expect("recall for unknown region");
-            assert_eq!(region.state, LState::Exclusive, "recall of non-owner");
-            if region.hold.is_some() || region.wanted {
+            if region.grant_seen < seq {
+                // The grant being recalled has not arrived here yet (it may
+                // have been dropped and will be re-sent). Flushing now
+                // would hand home stale data; defer until the grant is
+                // observed and released.
                 region.deferred = Some(Deferred::Recall { full });
-                true
+                RecallAction::Defer
+            } else if region.state == LState::Exclusive {
+                if region.hold.is_some() || region.wanted {
+                    region.deferred = Some(Deferred::Recall { full });
+                    RecallAction::Defer
+                } else {
+                    RecallAction::Flush
+                }
             } else {
-                false
+                // Already flushed once (duplicate or re-driven RECALL after
+                // the FLUSH was dropped). The data cannot have changed
+                // since — we are no longer exclusive — so re-send it as is.
+                RecallAction::Reflush(region.data.clone())
             }
         };
-        if !deferred {
-            self.do_flush(ctx, rid, full);
+        match action {
+            RecallAction::Defer => {}
+            RecallAction::Flush => self.do_flush(ctx, rid, full),
+            RecallAction::Reflush(data) => {
+                self.send_chunks(
+                    ctx,
+                    self.home(rid),
+                    handlers::FLUSH,
+                    rid,
+                    full as u32,
+                    &data,
+                );
+            }
         }
     }
 
@@ -766,7 +1014,14 @@ impl Crl {
             };
             data
         };
-        self.send_chunks(ctx, self.home(rid), handlers::FLUSH, rid, full, &data);
+        self.send_chunks(
+            ctx,
+            self.home(rid),
+            handlers::FLUSH,
+            rid,
+            full as u32,
+            &data,
+        );
     }
 
     fn on_flush(&self, ctx: &mut UserCtx<'_>, env: &Envelope) {
@@ -780,26 +1035,32 @@ impl Crl {
         let complete = {
             let mut st = self.nodes[me].lock().unwrap();
             let dir = st.dir.get_mut(&rid).expect("flush at non-home");
-            dir.master[off..off + words.len()].copy_from_slice(words);
-            match dir.busy {
-                DirBusy::AwaitFlush { fill } => {
-                    let fill = fill + words.len();
-                    let done = fill >= total;
-                    if done {
-                        dir.busy = DirBusy::Idle;
-                        dir.owner = None;
-                        // A downgrade recall leaves the old owner sharing.
-                        let head_is_read = dir.queue.front().map(|r| !r.write).unwrap_or(false);
-                        if head_is_read {
-                            dir.sharers.insert(owner);
-                        }
-                    } else {
-                        dir.busy = DirBusy::AwaitFlush { fill };
+            // Accept chunks only from the owner we are actually recalling;
+            // anything else is a duplicate or a re-sent flush that already
+            // completed, and must not touch the master copy.
+            let (fresh, done) = match &mut dir.busy {
+                DirBusy::AwaitFlush { from, fill, got } if *from == owner => {
+                    let fresh = got.insert(off);
+                    if fresh {
+                        *fill += words.len();
                     }
-                    done
+                    (fresh, *fill >= total)
                 }
-                _ => panic!("unexpected FLUSH for region {rid}"),
+                _ => (false, false),
+            };
+            if fresh {
+                dir.master[off..off + words.len()].copy_from_slice(words);
             }
+            if done {
+                dir.busy = DirBusy::Idle;
+                dir.owner = None;
+                // A downgrade recall leaves the old owner sharing.
+                let head_is_read = dir.queue.front().map(|r| !r.write).unwrap_or(false);
+                if head_is_read {
+                    dir.sharers.insert(owner);
+                }
+            }
+            done
         };
         if complete {
             self.pump(ctx, rid);

@@ -111,11 +111,17 @@ impl VirtualBuffer {
         if needed_to_page > self.backed_to_page {
             let want = needed_to_page - self.backed_to_page;
             // Allocate all-or-nothing so a failure leaves clean state.
+            // Even with enough free frames an allocation can be refused by
+            // fault injection; roll back so forced failures look exactly
+            // like real exhaustion to overflow control.
             if frames.free() < want {
                 return Err(OutOfFrames);
             }
-            for _ in 0..want {
-                frames.allocate().expect("checked free count above");
+            for done in 0..want {
+                if frames.allocate().is_err() {
+                    frames.release(done);
+                    return Err(OutOfFrames);
+                }
             }
             self.backed_to_page = needed_to_page;
             allocated = true;

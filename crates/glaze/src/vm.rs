@@ -7,6 +7,7 @@
 //! buffer draws frames from it on demand and returns them as it drains, and
 //! the overflow-control policy watches its free count.
 
+use fugu_sim::fault::FaultInjector;
 use fugu_sim::stats::HighWater;
 use fugu_sim::trace::{CategoryMask, TraceEvent, Tracer};
 
@@ -43,6 +44,7 @@ pub struct FrameAllocator {
     total: u64,
     used: HighWater,
     tracer: Tracer,
+    faults: FaultInjector,
     node: usize,
 }
 
@@ -53,6 +55,7 @@ impl FrameAllocator {
             total,
             used: HighWater::new(),
             tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
             node: 0,
         }
     }
@@ -63,6 +66,13 @@ impl FrameAllocator {
     pub fn attach_tracer(&mut self, tracer: Tracer, node: usize) {
         self.tracer = tracer;
         self.node = node;
+    }
+
+    /// Attaches a fault injector; [`FrameAllocator::allocate`] then consults
+    /// it and force-fails allocations during injected failure bursts,
+    /// modeling other memory consumers transiently draining the pool.
+    pub fn attach_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Total frames in the pool.
@@ -94,6 +104,13 @@ impl FrameAllocator {
     /// buffer-insert path) must stall and let the OS page via the second
     /// network, per §4.2.
     pub fn allocate(&mut self) -> Result<(), OutOfFrames> {
+        if self.faults.frame_fail(self.node) {
+            self.tracer
+                .emit_with(CategoryMask::FAULT, || TraceEvent::FaultFrameFail {
+                    node: self.node,
+                });
+            return Err(OutOfFrames);
+        }
         if self.free() == 0 {
             return Err(OutOfFrames);
         }
@@ -168,5 +185,20 @@ mod tests {
     fn zero_capacity_pool_always_fails() {
         let mut fa = FrameAllocator::new(0);
         assert_eq!(fa.allocate(), Err(OutOfFrames));
+    }
+
+    #[test]
+    fn injected_burst_fails_allocations_with_frames_free() {
+        use fugu_sim::fault::{FaultInjector, FaultPlan};
+
+        let mut fa = FrameAllocator::new(8);
+        let plan = FaultPlan::parse("frame-fail=1.0,frame-burst=2").unwrap();
+        fa.attach_faults(FaultInjector::new(plan, 1, 1));
+        assert_eq!(fa.allocate(), Err(OutOfFrames));
+        assert_eq!(fa.free(), 8, "forced failure must not consume a frame");
+        // An inert injector never interferes.
+        fa.attach_faults(FaultInjector::disabled());
+        fa.allocate().unwrap();
+        assert_eq!(fa.used(), 1);
     }
 }

@@ -87,6 +87,10 @@ pub struct Message {
     gid: Gid,
     handler: HandlerId,
     payload: Vec<u32>,
+    /// Machine-wide unique id stamped at launch time; `0` until stamped.
+    /// Purely observational (trace events, delivery-invariant checking) —
+    /// no protocol logic may branch on it.
+    uid: u64,
 }
 
 impl Message {
@@ -109,6 +113,7 @@ impl Message {
             gid,
             handler,
             payload,
+            uid: 0,
         }
     }
 
@@ -147,6 +152,19 @@ impl Message {
     /// (user code cannot forge it).
     pub fn with_gid(mut self, gid: Gid) -> Self {
         self.gid = gid;
+        self
+    }
+
+    /// Unique message id stamped at launch (`0` if never stamped).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Stamps the unique message id; used by the machine at launch so the
+    /// trace stream can correlate a message's arrival and delivery with its
+    /// launch. Both copies of a fault-injected duplicate share one uid.
+    pub fn with_uid(mut self, uid: u64) -> Self {
+        self.uid = uid;
         self
     }
 }
@@ -189,6 +207,14 @@ mod tests {
         let m = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![]);
         let m = m.with_gid(Gid::new(9));
         assert_eq!(m.gid(), Gid::new(9));
+    }
+
+    #[test]
+    fn uid_stamp() {
+        let m = Message::new(0, 1, Gid::new(1), HandlerId(0), vec![]);
+        assert_eq!(m.uid(), 0);
+        let m = m.with_uid(42);
+        assert_eq!(m.uid(), 42);
     }
 
     #[test]

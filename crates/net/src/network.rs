@@ -102,11 +102,19 @@ impl Network {
     /// arrival time at the destination interface. FIFO order per
     /// (src, dst) pair is enforced by construction.
     pub fn inject(&mut self, now: Cycles, msg: &Message) -> Cycles {
+        self.inject_delayed(now, msg, 0)
+    }
+
+    /// Like [`Network::inject`], with `extra` additional transit cycles
+    /// (fault injection: a congested or rerouted message). The FIFO floor
+    /// still applies, so a delayed message delays everything behind it on
+    /// the same channel rather than being overtaken.
+    pub fn inject_delayed(&mut self, now: Cycles, msg: &Message, extra: Cycles) -> Cycles {
         let transit =
             self.config.base_latency + self.config.cycles_per_word * msg.len_words() as Cycles;
         let channel = (msg.src(), msg.dst());
         let fifo_floor = self.last_arrival.get(&channel).map(|&t| t + 1).unwrap_or(0);
-        let arrival = (now + transit).max(fifo_floor);
+        let arrival = (now + transit + extra).max(fifo_floor);
         self.last_arrival.insert(channel, arrival);
         *self.in_flight.entry(msg.dst()).or_insert(0) += 1;
         self.injected.inc();
@@ -208,6 +216,20 @@ mod tests {
     fn deliver_without_inject_panics() {
         let mut net = Network::new(NetworkConfig::main_network());
         net.deliver(0);
+    }
+
+    #[test]
+    fn delayed_inject_adds_transit_but_keeps_fifo() {
+        let mut net = Network::new(NetworkConfig {
+            base_latency: 50,
+            cycles_per_word: 1,
+        });
+        let a = net.inject_delayed(0, &msg(0, 1, 0), 1_000);
+        // now + base latency + 2 words + injected delay
+        assert_eq!(a, 50 + 2 + 1_000);
+        // An undelayed message behind it on the same channel cannot overtake.
+        let b = net.inject(1, &msg(0, 1, 0));
+        assert!(b > a, "later message overtook a delayed one: {a} vs {b}");
     }
 
     #[test]

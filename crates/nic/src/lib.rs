@@ -39,7 +39,9 @@ pub use uac::{Uac, UacMask};
 use std::collections::VecDeque;
 
 use fugu_net::{Gid, Message, MAX_MESSAGE_WORDS};
+use fugu_sim::fault::FaultInjector;
 use fugu_sim::trace::{CategoryMask, TraceEvent, Tracer};
+use fugu_sim::Cycles;
 
 /// Privilege level of the code executing a NIC operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +142,8 @@ pub struct Nic {
     uac: Uac,
     /// Trace sink for arrival and divert events.
     tracer: Tracer,
+    /// Fault injector consulted for input-port stall windows.
+    faults: FaultInjector,
     /// The node this interface belongs to, used to tag trace events.
     node: usize,
 }
@@ -155,6 +159,7 @@ impl Nic {
             divert_mode: false,
             uac: Uac::new(),
             tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
             node: 0,
         }
     }
@@ -165,6 +170,27 @@ impl Nic {
     pub fn attach_tracer(&mut self, tracer: Tracer, node: usize) {
         self.tracer = tracer;
         self.node = node;
+    }
+
+    /// Attaches a fault injector; [`Nic::input_stalled`] then consults it
+    /// for injected input-port stall windows.
+    pub fn attach_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Asks whether the input port is stalled at time `now` (a fault
+    /// injector may open stall windows during which the interface refuses
+    /// arrivals, modeling a wedged receive port). Returns the window's end:
+    /// the machine defers the arrival event to that time instead of
+    /// enqueuing. One relaxed atomic load when fault injection is off.
+    pub fn input_stalled(&self, now: Cycles) -> Option<Cycles> {
+        let until = self.faults.nic_stall(self.node, now)?;
+        self.tracer
+            .emit_with(CategoryMask::FAULT, || TraceEvent::FaultNicStall {
+                node: self.node,
+                until,
+            });
+        Some(until)
     }
 
     // ------------------------------------------------------------------
@@ -653,6 +679,18 @@ mod tests {
     }
 
     // --- input queue capacity ---------------------------------------------
+
+    #[test]
+    fn input_stall_windows_come_from_the_injector() {
+        use fugu_sim::fault::{FaultInjector, FaultPlan};
+
+        let mut n = nic_for(1);
+        assert_eq!(n.input_stalled(100), None, "no injector: never stalled");
+        let plan = FaultPlan::parse("stall=1.0,stall-cycles=50").unwrap();
+        n.attach_faults(FaultInjector::new(plan, 3, 1));
+        assert_eq!(n.input_stalled(100), Some(150));
+        assert_eq!(n.input_stalled(120), Some(150), "window persists");
+    }
 
     #[test]
     fn queue_refuses_when_full() {

@@ -13,6 +13,8 @@
 //!   are fully deterministic);
 //! * [`rng::DetRng`] — a small, self-contained, seedable PRNG so results do
 //!   not depend on external crate versions;
+//! * [`fault`] — a seeded, deterministic fault-injection plan consulted by
+//!   the machine layers, zero-cost when inert;
 //! * [`stats`] — counters, accumulators, histograms and the named
 //!   [`stats::MetricsRegistry`] used by the experiment harnesses;
 //! * [`trace`] — typed [`trace::TraceEvent`]s with a ring-buffer recorder
@@ -39,6 +41,7 @@
 
 pub mod coro;
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod prop;
 pub mod rng;

@@ -24,11 +24,11 @@
 //!
 //! let tracer = Tracer::recorder(64, CategoryMask::ALL);
 //! tracer.set_time(1_000);
-//! tracer.emit(TraceEvent::ModeEnter { node: 3 });
+//! tracer.emit(TraceEvent::ModeEnter { node: 3, job: 0 });
 //! let records = tracer.take_records();
 //! assert_eq!(records.len(), 1);
 //! assert_eq!(records[0].at, 1_000);
-//! assert_eq!(records[0].event, TraceEvent::ModeEnter { node: 3 });
+//! assert_eq!(records[0].event, TraceEvent::ModeEnter { node: 3, job: 0 });
 //! ```
 
 use std::collections::VecDeque;
@@ -62,8 +62,10 @@ impl CategoryMask {
     pub const VM: CategoryMask = CategoryMask(1 << 6);
     /// Gang-scheduler quantum switches.
     pub const SCHED: CategoryMask = CategoryMask(1 << 7);
+    /// Injected faults (drops, duplicates, stalls — see [`crate::fault`]).
+    pub const FAULT: CategoryMask = CategoryMask(1 << 8);
     /// Every category.
-    pub const ALL: CategoryMask = CategoryMask(0xFF);
+    pub const ALL: CategoryMask = CategoryMask(0x1FF);
 
     /// Raw bit representation.
     pub fn bits(self) -> u32 {
@@ -82,8 +84,8 @@ impl CategoryMask {
 
     /// Parses a comma-separated list of category names (as used by the
     /// `FUGU_TRACE` environment variable): `msg`, `upcall`, `buffer`,
-    /// `mode`, `atomicity`, `overflow`, `vm`, `sched`, or `all`. Unknown
-    /// names are ignored.
+    /// `mode`, `atomicity`, `overflow`, `vm`, `sched`, `fault`, or `all`.
+    /// Unknown names are ignored.
     ///
     /// # Example
     ///
@@ -109,6 +111,7 @@ impl CategoryMask {
                     "overflow" => CategoryMask::OVERFLOW,
                     "vm" => CategoryMask::VM,
                     "sched" => CategoryMask::SCHED,
+                    "fault" => CategoryMask::FAULT,
                     "all" => CategoryMask::ALL,
                     _ => CategoryMask::NONE,
                 };
@@ -140,6 +143,8 @@ pub enum TraceEvent {
         dst: usize,
         /// Total message length in words (header + payload).
         words: usize,
+        /// Machine-wide unique message id, stamped at launch.
+        uid: u64,
     },
     /// A message reached `node`'s NIC input queue.
     MsgArrive {
@@ -157,6 +162,8 @@ pub enum TraceEvent {
         job: usize,
         /// Message length in words.
         words: usize,
+        /// Unique id of the delivered message.
+        uid: u64,
     },
     /// A message was delivered because the program polled for it while the
     /// NIC still held it (also the fast path, without an interrupt).
@@ -167,6 +174,8 @@ pub enum TraceEvent {
         job: usize,
         /// Message length in words.
         words: usize,
+        /// Unique id of the delivered message.
+        uid: u64,
     },
     /// The kernel moved a message from the NIC into the software buffer
     /// (second case).
@@ -179,6 +188,8 @@ pub enum TraceEvent {
         words: usize,
         /// True if the insert went to swapped (paged-out) storage.
         swapped: bool,
+        /// Unique id of the buffered message.
+        uid: u64,
     },
     /// A buffered message was handed to its program.
     BufferExtract {
@@ -190,16 +201,22 @@ pub enum TraceEvent {
         words: usize,
         /// True if the message had to be paged back in first.
         swapped: bool,
+        /// Unique id of the extracted message.
+        uid: u64,
     },
     /// `node` entered buffered mode: arrivals now divert to the kernel.
     ModeEnter {
         /// The node changing mode.
         node: usize,
+        /// The job whose delivery is now buffered.
+        job: usize,
     },
     /// `node` left buffered mode and resumed fast-path delivery.
     ModeExit {
         /// The node changing mode.
         node: usize,
+        /// The job whose buffer drained.
+        job: usize,
     },
     /// The NIC divert register flipped.
     NicDivert {
@@ -268,6 +285,55 @@ pub enum TraceEvent {
         /// Job running after the switch, if any.
         to_job: Option<usize>,
     },
+    /// Fault injection dropped a launched message.
+    FaultDrop {
+        /// Sending node.
+        node: usize,
+        /// Intended destination.
+        dst: usize,
+        /// Unique id of the dropped message.
+        uid: u64,
+    },
+    /// Fault injection duplicated a launched message.
+    FaultDuplicate {
+        /// Sending node.
+        node: usize,
+        /// Destination (both copies).
+        dst: usize,
+        /// Unique id shared by both copies.
+        uid: u64,
+    },
+    /// Fault injection added extra transit delay to a message.
+    FaultDelay {
+        /// Sending node.
+        node: usize,
+        /// Destination.
+        dst: usize,
+        /// Unique id of the delayed message.
+        uid: u64,
+        /// Extra transit cycles added.
+        extra: Cycles,
+    },
+    /// Fault injection opened a NIC input stall window.
+    FaultNicStall {
+        /// The stalled node.
+        node: usize,
+        /// Simulated time the window closes.
+        until: Cycles,
+    },
+    /// Fault injection force-failed a frame allocation.
+    FaultFrameFail {
+        /// The node whose allocation failed.
+        node: usize,
+    },
+    /// Fault injection forced a handler page fault, diverting an
+    /// interrupt-driven delivery onto the buffered path.
+    FaultHandlerFault {
+        /// The affected node.
+        node: usize,
+        /// The job whose delivery was diverted.
+        job: usize,
+    },
 }
 
 impl TraceEvent {
@@ -292,6 +358,12 @@ impl TraceEvent {
             | TraceEvent::PageRelease { .. }
             | TraceEvent::PageFault { .. } => CategoryMask::VM,
             TraceEvent::QuantumSwitch { .. } => CategoryMask::SCHED,
+            TraceEvent::FaultDrop { .. }
+            | TraceEvent::FaultDuplicate { .. }
+            | TraceEvent::FaultDelay { .. }
+            | TraceEvent::FaultNicStall { .. }
+            | TraceEvent::FaultFrameFail { .. }
+            | TraceEvent::FaultHandlerFault { .. } => CategoryMask::FAULT,
         }
     }
 
@@ -304,8 +376,8 @@ impl TraceEvent {
             | TraceEvent::PollDelivery { node, .. }
             | TraceEvent::BufferInsert { node, .. }
             | TraceEvent::BufferExtract { node, .. }
-            | TraceEvent::ModeEnter { node }
-            | TraceEvent::ModeExit { node }
+            | TraceEvent::ModeEnter { node, .. }
+            | TraceEvent::ModeExit { node, .. }
             | TraceEvent::NicDivert { node, .. }
             | TraceEvent::AtomicityRevoke { node, .. }
             | TraceEvent::WatchdogFire { node, .. }
@@ -314,7 +386,13 @@ impl TraceEvent {
             | TraceEvent::PageAlloc { node, .. }
             | TraceEvent::PageRelease { node, .. }
             | TraceEvent::PageFault { node, .. }
-            | TraceEvent::QuantumSwitch { node, .. } => node,
+            | TraceEvent::QuantumSwitch { node, .. }
+            | TraceEvent::FaultDrop { node, .. }
+            | TraceEvent::FaultDuplicate { node, .. }
+            | TraceEvent::FaultDelay { node, .. }
+            | TraceEvent::FaultNicStall { node, .. }
+            | TraceEvent::FaultFrameFail { node }
+            | TraceEvent::FaultHandlerFault { node, .. } => node,
         }
     }
 }
@@ -327,30 +405,48 @@ impl fmt::Display for TraceEvent {
                 job,
                 dst,
                 words,
+                uid,
             } => {
                 write!(
                     f,
-                    "msg-launch node={node} job={job} dst={dst} words={words}"
+                    "msg-launch node={node} job={job} dst={dst} words={words} uid={uid}"
                 )
             }
             TraceEvent::MsgArrive { node, qlen } => {
                 write!(f, "msg-arrive node={node} qlen={qlen}")
             }
-            TraceEvent::FastUpcall { node, job, words } => {
-                write!(f, "fast-upcall node={node} job={job} words={words}")
+            TraceEvent::FastUpcall {
+                node,
+                job,
+                words,
+                uid,
+            } => {
+                write!(
+                    f,
+                    "fast-upcall node={node} job={job} words={words} uid={uid}"
+                )
             }
-            TraceEvent::PollDelivery { node, job, words } => {
-                write!(f, "poll-delivery node={node} job={job} words={words}")
+            TraceEvent::PollDelivery {
+                node,
+                job,
+                words,
+                uid,
+            } => {
+                write!(
+                    f,
+                    "poll-delivery node={node} job={job} words={words} uid={uid}"
+                )
             }
             TraceEvent::BufferInsert {
                 node,
                 job,
                 words,
                 swapped,
+                uid,
             } => {
                 write!(
                     f,
-                    "buffer-insert node={node} job={job} words={words} swapped={swapped}"
+                    "buffer-insert node={node} job={job} words={words} swapped={swapped} uid={uid}"
                 )
             }
             TraceEvent::BufferExtract {
@@ -358,14 +454,15 @@ impl fmt::Display for TraceEvent {
                 job,
                 words,
                 swapped,
+                uid,
             } => {
                 write!(
                     f,
-                    "buffer-extract node={node} job={job} words={words} swapped={swapped}"
+                    "buffer-extract node={node} job={job} words={words} swapped={swapped} uid={uid}"
                 )
             }
-            TraceEvent::ModeEnter { node } => write!(f, "mode-enter node={node}"),
-            TraceEvent::ModeExit { node } => write!(f, "mode-exit node={node}"),
+            TraceEvent::ModeEnter { node, job } => write!(f, "mode-enter node={node} job={job}"),
+            TraceEvent::ModeExit { node, job } => write!(f, "mode-exit node={node} job={job}"),
             TraceEvent::NicDivert { node, on } => write!(f, "nic-divert node={node} on={on}"),
             TraceEvent::AtomicityRevoke { node, job } => {
                 write!(f, "atomicity-revoke node={node} job={job}")
@@ -399,6 +496,32 @@ impl fmt::Display for TraceEvent {
                     fmt_job(*from_job),
                     fmt_job(*to_job)
                 )
+            }
+            TraceEvent::FaultDrop { node, dst, uid } => {
+                write!(f, "fault-drop node={node} dst={dst} uid={uid}")
+            }
+            TraceEvent::FaultDuplicate { node, dst, uid } => {
+                write!(f, "fault-duplicate node={node} dst={dst} uid={uid}")
+            }
+            TraceEvent::FaultDelay {
+                node,
+                dst,
+                uid,
+                extra,
+            } => {
+                write!(
+                    f,
+                    "fault-delay node={node} dst={dst} uid={uid} extra={extra}"
+                )
+            }
+            TraceEvent::FaultNicStall { node, until } => {
+                write!(f, "fault-nic-stall node={node} until={until}")
+            }
+            TraceEvent::FaultFrameFail { node } => {
+                write!(f, "fault-frame-fail node={node}")
+            }
+            TraceEvent::FaultHandlerFault { node, job } => {
+                write!(f, "fault-handler-fault node={node} job={job}")
             }
         }
     }
@@ -479,7 +602,7 @@ struct Inner {
 ///     seen2.fetch_add(1, Ordering::Relaxed);
 /// });
 /// tracer.emit(TraceEvent::PageAlloc { node: 0, in_use: 1 });
-/// tracer.emit(TraceEvent::ModeEnter { node: 0 }); // filtered out: not VM
+/// tracer.emit(TraceEvent::ModeEnter { node: 0, job: 0 }); // filtered out: not VM
 /// assert_eq!(seen.load(Ordering::Relaxed), 1);
 /// ```
 #[derive(Clone)]
@@ -678,7 +801,7 @@ mod tests {
     fn disabled_tracer_records_nothing() {
         let t = Tracer::disabled();
         assert!(!t.is_enabled(CategoryMask::ALL));
-        t.emit(TraceEvent::ModeEnter { node: 0 });
+        t.emit(TraceEvent::ModeEnter { node: 0, job: 0 });
         assert!(t.take_records().is_empty());
         assert_eq!(t.dropped(), 0);
     }
@@ -686,23 +809,23 @@ mod tests {
     #[test]
     fn recorder_filters_by_category() {
         let t = Tracer::recorder(8, CategoryMask::MODE);
-        t.emit(TraceEvent::ModeEnter { node: 1 });
+        t.emit(TraceEvent::ModeEnter { node: 1, job: 0 });
         t.emit(TraceEvent::PageAlloc { node: 1, in_use: 3 });
         let recs = t.take_records();
         assert_eq!(recs.len(), 1);
-        assert_eq!(recs[0].event, TraceEvent::ModeEnter { node: 1 });
+        assert_eq!(recs[0].event, TraceEvent::ModeEnter { node: 1, job: 0 });
     }
 
     #[test]
     fn ring_evicts_oldest_and_counts_drops() {
         let t = Tracer::recorder(2, CategoryMask::ALL);
         for node in 0..5 {
-            t.emit(TraceEvent::ModeEnter { node });
+            t.emit(TraceEvent::ModeEnter { node, job: 0 });
         }
         let recs = t.take_records();
         assert_eq!(recs.len(), 2);
-        assert_eq!(recs[0].event, TraceEvent::ModeEnter { node: 3 });
-        assert_eq!(recs[1].event, TraceEvent::ModeEnter { node: 4 });
+        assert_eq!(recs[0].event, TraceEvent::ModeEnter { node: 3, job: 0 });
+        assert_eq!(recs[1].event, TraceEvent::ModeEnter { node: 4, job: 0 });
         assert_eq!(t.dropped(), 3);
     }
 
@@ -710,9 +833,9 @@ mod tests {
     fn time_stamps_records() {
         let t = Tracer::recorder(4, CategoryMask::ALL);
         t.set_time(7);
-        t.emit(TraceEvent::ModeEnter { node: 0 });
+        t.emit(TraceEvent::ModeEnter { node: 0, job: 0 });
         t.set_time(19);
-        t.emit(TraceEvent::ModeExit { node: 0 });
+        t.emit(TraceEvent::ModeExit { node: 0, job: 0 });
         let recs = t.take_records();
         assert_eq!(recs[0].at, 7);
         assert_eq!(recs[1].at, 19);
@@ -753,11 +876,24 @@ mod tests {
                 job: 0,
                 words: 3,
                 swapped: false,
+                uid: 9,
             },
         };
         assert_eq!(
             r.to_string(),
-            "[          12] buffer-insert node=1 job=0 words=3 swapped=false"
+            "[          12] buffer-insert node=1 job=0 words=3 swapped=false uid=9"
+        );
+        let r = TraceRecord {
+            at: 40,
+            event: TraceEvent::FaultDrop {
+                node: 2,
+                dst: 0,
+                uid: 17,
+            },
+        };
+        assert_eq!(
+            r.to_string(),
+            "[          40] fault-drop node=2 dst=0 uid=17"
         );
     }
 
@@ -768,6 +904,7 @@ mod tests {
             CategoryMask::parse(" vm , sched "),
             CategoryMask::VM | CategoryMask::SCHED
         );
+        assert_eq!(CategoryMask::parse("fault"), CategoryMask::FAULT);
     }
 
     #[test]
@@ -775,7 +912,7 @@ mod tests {
         let a = Tracer::recorder(4, CategoryMask::ALL);
         let b = a.clone();
         b.set_time(3);
-        b.emit(TraceEvent::ModeEnter { node: 0 });
+        b.emit(TraceEvent::ModeEnter { node: 0, job: 0 });
         assert_eq!(a.records().len(), 1);
     }
 }

@@ -18,14 +18,19 @@ fn gen_event(rng: &mut DetRng) -> TraceEvent {
             node,
             job: rng.index(3),
             words: rng.index(16),
+            uid: rng.next_u64() % 1_000,
         },
         2 => TraceEvent::BufferInsert {
             node,
             job: rng.index(3),
             words: rng.index(16),
             swapped: rng.chance(0.2),
+            uid: rng.next_u64() % 1_000,
         },
-        3 => TraceEvent::ModeEnter { node },
+        3 => TraceEvent::ModeEnter {
+            node,
+            job: rng.index(3),
+        },
         4 => TraceEvent::AtomicityRevoke {
             node,
             job: rng.index(3),

@@ -9,10 +9,17 @@ use two_case_delivery::apps::{EnumApp, EnumParams, NullApp};
 use two_case_delivery::{CostModel, Machine, MachineConfig};
 
 fn main() {
-    let skew: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("skew must be a number in [0,1)"))
-        .unwrap_or(0.2);
+    let skew: f64 = match std::env::args().nth(1) {
+        None => 0.2,
+        Some(arg) => match arg.parse() {
+            Ok(s) if (0.0..1.0).contains(&s) => s,
+            _ => {
+                eprintln!("error: skew must be a number in [0, 1), got {arg:?}");
+                eprintln!("usage: multiprogram [SKEW]   (default 0.2)");
+                std::process::exit(2);
+            }
+        },
+    };
 
     let nodes = 8;
     let params = EnumParams {

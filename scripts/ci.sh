@@ -9,6 +9,14 @@ cd "$(dirname "$0")/.."
 
 cargo build --offline --release
 cargo test --offline --workspace -q
+# Property tests (seeded, replayable): vbuf ordering/accounting and CRL
+# exactly-once under fault injection. Covered by the workspace run above;
+# re-run by name so a failure is visible on its own line.
+cargo test --offline -q -p fugu-glaze --test vbuf_props
+cargo test --offline -q -p fugu-apps --test crl_chaos_props
+# Chaos smoke: sweep fault injection over every app and assert the
+# delivery guarantees (exits nonzero on any violation).
+cargo run --offline --release -p fugu-bench --bin chaos -- --quick --jobs 4
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "ci: all checks passed"
