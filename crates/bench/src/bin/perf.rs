@@ -1,0 +1,241 @@
+//! Engine performance baseline: wall-clock throughput of the simulator
+//! itself (no simulated quantity depends on anything measured here).
+//!
+//! Two instruments, written to `BENCH_PERF.json` (override with `--json`):
+//!
+//! * **Queue churn** — the cancel-heavy schedule/cancel/pop interleaving
+//!   that interrupt-preempted `compute` blocks generate, driven identically
+//!   through the slab-backed event queue and the retained legacy
+//!   (`BinaryHeap` + `HashMap`) implementation. Both engines' events/sec
+//!   are recorded, plus the ratio — the number the event-queue rework is
+//!   accountable to.
+//! * **App throughput** — every Table 6 application run standalone, timed:
+//!   events/sec through the engine and wall milliseconds per simulated
+//!   megacycle. These are the trajectory numbers future perf PRs append to.
+//!
+//! Simulated results are byte-identical across engine-performance work by
+//! construction; this harness also proves the two queue engines agree by
+//! comparing a checksum of every pop either engine observed. Wall-clock
+//! figures vary run to run and host to host — committed `BENCH_PERF.json`
+//! files record a trajectory, not a reproducible artifact.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use fugu_bench::{run_standalone, write_report, AppKind, Json, Opts, Table};
+use fugu_sim::event::{legacy, EventQueue};
+use fugu_sim::rng::DetRng;
+use fugu_sim::Cycles;
+
+/// The two queue engines behind one face, so the churn driver runs the
+/// byte-identical operation sequence through each.
+trait Engine {
+    type Id: Copy;
+    fn schedule_in(&mut self, delay: Cycles, event: u64) -> Self::Id;
+    fn cancel(&mut self, id: Self::Id) -> Option<u64>;
+    fn pop(&mut self) -> Option<(Cycles, u64)>;
+}
+
+impl Engine for EventQueue<u64> {
+    type Id = fugu_sim::event::EventId;
+    fn schedule_in(&mut self, delay: Cycles, event: u64) -> Self::Id {
+        EventQueue::schedule_in(self, delay, event)
+    }
+    fn cancel(&mut self, id: Self::Id) -> Option<u64> {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(Cycles, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Engine for legacy::EventQueue<u64> {
+    type Id = legacy::EventId;
+    fn schedule_in(&mut self, delay: Cycles, event: u64) -> Self::Id {
+        legacy::EventQueue::schedule_in(self, delay, event)
+    }
+    fn cancel(&mut self, id: Self::Id) -> Option<u64> {
+        legacy::EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(Cycles, u64)> {
+        legacy::EventQueue::pop(self)
+    }
+}
+
+/// One churn round: cancel + re-schedule a pending timer (the machine's
+/// `reconcile_timer` pattern), pop periodically so time advances, and fold
+/// every observation into a checksum that (a) keeps the optimizer honest
+/// and (b) proves both engines saw identical event streams.
+fn churn<Q: Engine>(q: &mut Q, rounds: u64, seed: u64) -> u64 {
+    let mut rng = DetRng::new(seed);
+    let mut pending = Vec::with_capacity(64);
+    let mut checksum = 0u64;
+    for i in 0..64u64 {
+        pending.push(q.schedule_in(1 + rng.range_u64(0, 1_000), i));
+    }
+    for round in 0..rounds {
+        let slot = rng.index(pending.len());
+        let id = pending.swap_remove(slot);
+        if let Some(tag) = q.cancel(id) {
+            checksum = checksum.wrapping_mul(31).wrapping_add(tag);
+        }
+        pending.push(q.schedule_in(1 + rng.range_u64(0, 1_000), round));
+        if round % 4 == 0 {
+            if let Some((t, tag)) = q.pop() {
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(t)
+                    .wrapping_mul(31)
+                    .wrapping_add(tag);
+            }
+            pending.push(q.schedule_in(1 + rng.range_u64(0, 1_000), round));
+        }
+    }
+    while let Some((t, tag)) = q.pop() {
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add(t)
+            .wrapping_mul(31)
+            .wrapping_add(tag);
+    }
+    checksum
+}
+
+/// Queue operations one `churn(rounds)` call performs (schedules, cancels
+/// and pops, including the final drain) — the events/sec denominator.
+fn churn_ops(rounds: u64) -> u64 {
+    // 64 prefill + per round (cancel + schedule) + every 4th round
+    // (pop + schedule) + drained remainder.
+    64 + 2 * rounds + 2 * rounds.div_ceil(4) + 64
+}
+
+/// Best-of-`trials` wall seconds for one engine over the full churn.
+fn time_churn<Q: Engine + Default>(rounds: u64, trials: u32, seed: u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0;
+    for _ in 0..trials.max(1) {
+        let mut q = Q::default();
+        let start = Instant::now();
+        checksum = churn(&mut q, rounds, seed);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, checksum)
+}
+
+fn main() {
+    let mut opts = Opts::parse(8);
+    // Unlike the results harnesses, a perf baseline is the whole point of
+    // this binary: always write the report, defaulting to the repo-root
+    // trajectory file.
+    let json_path = opts
+        .json
+        .get_or_insert_with(|| PathBuf::from("BENCH_PERF.json"))
+        .clone();
+
+    println!("Engine performance baseline ({} nodes)", opts.nodes);
+    println!();
+
+    // ---- Queue churn: slab vs legacy on identical op streams ----------
+    let rounds: u64 = if opts.quick { 40_000 } else { 400_000 };
+    let ops = churn_ops(rounds);
+    let (slab_s, slab_sum) = time_churn::<EventQueue<u64>>(rounds, opts.trials, opts.seed);
+    let (legacy_s, legacy_sum) =
+        time_churn::<legacy::EventQueue<u64>>(rounds, opts.trials, opts.seed);
+    assert_eq!(
+        slab_sum, legacy_sum,
+        "queue engines diverged on an identical operation stream"
+    );
+    let slab_eps = ops as f64 / slab_s;
+    let legacy_eps = ops as f64 / legacy_s;
+    let speedup = slab_eps / legacy_eps;
+
+    let mut t = Table::new(&["queue engine", "ops", "wall ms", "events/sec"]);
+    for (name, secs, eps) in [("slab", slab_s, slab_eps), ("legacy", legacy_s, legacy_eps)] {
+        t.row(vec![
+            name.into(),
+            ops.to_string(),
+            format!("{:.2}", secs * 1e3),
+            format!("{eps:.0}"),
+        ]);
+    }
+    t.print();
+    println!("  cancel-churn speedup: {speedup:.2}x (slab vs legacy)");
+    println!();
+
+    // ---- App throughput: wall time per simulated megacycle ------------
+    // Sequential on purpose (ignoring --jobs): concurrent runs would share
+    // cores and corrupt each other's wall numbers.
+    let mut t = Table::new(&[
+        "app",
+        "sim Mcycles",
+        "events",
+        "wall ms",
+        "events/sec",
+        "ms/Mcycle",
+    ]);
+    let mut app_points = Vec::new();
+    for kind in AppKind::ALL {
+        let mut best_s = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..opts.trials.max(1) {
+            let start = Instant::now();
+            let r = run_standalone(kind, &opts, 0);
+            best_s = best_s.min(start.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        let r = report.expect("at least one trial ran");
+        let mcycles = r.end_time as f64 / 1e6;
+        let eps = r.events_processed as f64 / best_s;
+        let ms_per_mcycle = best_s * 1e3 / mcycles;
+        t.row(vec![
+            kind.name().into(),
+            format!("{mcycles:.1}"),
+            r.events_processed.to_string(),
+            format!("{:.1}", best_s * 1e3),
+            format!("{eps:.0}"),
+            format!("{ms_per_mcycle:.2}"),
+        ]);
+        app_points.push(Json::object([
+            ("app", Json::from(kind.name())),
+            ("sim_cycles", Json::from(r.end_time)),
+            ("events", Json::from(r.events_processed)),
+            ("wall_ms", Json::from(best_s * 1e3)),
+            ("events_per_sec", Json::from(eps)),
+            ("wall_ms_per_mcycle", Json::from(ms_per_mcycle)),
+        ]));
+        eprintln!("  [{} done]", kind.name());
+    }
+    t.print();
+
+    let points = Json::object([
+        (
+            "queue_churn",
+            Json::object([
+                ("rounds", Json::from(rounds)),
+                ("ops", Json::from(ops)),
+                ("slab_events_per_sec", Json::from(slab_eps)),
+                ("legacy_events_per_sec", Json::from(legacy_eps)),
+                ("slab_wall_ms", Json::from(slab_s * 1e3)),
+                ("legacy_wall_ms", Json::from(legacy_s * 1e3)),
+                ("speedup", Json::from(speedup)),
+            ]),
+        ),
+        ("apps", Json::array(app_points)),
+    ]);
+    write_report(&opts, "perf", points);
+
+    // Smoke-mode contract (scripts/ci.sh): the report must exist and parse
+    // back into a document carrying the numbers above.
+    let written = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| panic!("reading back {}: {e}", json_path.display()));
+    let doc = Json::parse(&written)
+        .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", json_path.display()));
+    let churn_doc = doc
+        .get("points")
+        .and_then(|p| p.get("queue_churn"))
+        .expect("report has points.queue_churn");
+    assert!(
+        matches!(churn_doc.get("speedup"), Some(Json::Float(x)) if x.is_finite()),
+        "report records a finite queue speedup"
+    );
+}

@@ -233,6 +233,10 @@ pub struct Machine {
     faults: FaultInjector,
     /// Machine-wide message-uid counter; every launch stamps the next one.
     next_uid: u64,
+    /// Events popped from the queue by [`Machine::run`]. Wall-clock
+    /// instrumentation only (the perf harness's events/sec denominator);
+    /// never serialized into run reports.
+    events_processed: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -293,6 +297,7 @@ impl Machine {
             tracer,
             faults,
             next_uid: 0,
+            events_processed: 0,
         }
     }
 
@@ -440,6 +445,7 @@ impl Machine {
                 self.cfg.max_cycles
             );
             self.tracer.set_time(t);
+            self.events_processed += 1;
             match ev {
                 Ev::Arrive { node, msg } => self.on_arrive(node, msg),
                 Ev::AdvanceDone { node, job, which } => self.on_advance_done(node, job, which),
@@ -898,6 +904,8 @@ impl Machine {
             let t = node.free_at.max(now);
             let frames = &mut node.frames;
             let proc = &mut node.procs[j];
+            // The clone is O(1): the payload is Arc-shared, so the fallback
+            // path below can still consume `msg` without a deep copy here.
             cost = match proc.vbuf.insert(msg.clone(), frames) {
                 Ok(outcome) => {
                     if outcome.allocated_page {
@@ -1004,7 +1012,7 @@ impl Machine {
             env = Envelope {
                 src: msg.src(),
                 handler: msg.handler(),
-                payload: msg.payload().to_vec(),
+                payload: msg.payload_shared(),
             };
         }
         let proc = &mut self.nodes[n].procs[j];
@@ -1051,7 +1059,7 @@ impl Machine {
             env = Envelope {
                 src: msg.src(),
                 handler: msg.handler(),
-                payload: msg.payload().to_vec(),
+                payload: msg.payload_shared(),
             };
         }
         if swapped {
@@ -1311,13 +1319,13 @@ impl Machine {
                     node.procs[j].vbuf.peek().map(|m| Envelope {
                         src: m.src(),
                         handler: m.handler(),
-                        payload: m.payload().to_vec(),
+                        payload: m.payload_shared(),
                     })
                 } else {
                     node.nic.peek().map(|m| Envelope {
                         src: m.src(),
                         handler: m.handler(),
-                        payload: m.payload().to_vec(),
+                        payload: m.payload_shared(),
                     })
                 };
                 Some(SimResp::Extract(env))
@@ -1384,7 +1392,7 @@ impl Machine {
         j: usize,
         dst: NodeId,
         handler: fugu_net::HandlerId,
-        payload: Vec<u32>,
+        payload: fugu_net::Payload,
     ) {
         assert!(
             dst < self.cfg.nodes,
@@ -1504,7 +1512,7 @@ impl Machine {
                 Envelope {
                     src: msg.src(),
                     handler: msg.handler(),
-                    payload: msg.payload().to_vec(),
+                    payload: msg.payload_shared(),
                 }
             };
             if swapped {
@@ -1534,7 +1542,7 @@ impl Machine {
                 Envelope {
                     src: msg.src(),
                     handler: msg.handler(),
-                    payload: msg.payload().to_vec(),
+                    payload: msg.payload_shared(),
                 }
             };
             self.jobs[j].fast += 1;
@@ -1588,7 +1596,7 @@ impl Machine {
                 env = Envelope {
                     src: msg.src(),
                     handler: msg.handler(),
-                    payload: msg.payload().to_vec(),
+                    payload: msg.payload_shared(),
                 };
             }
             if swapped {
@@ -1632,7 +1640,7 @@ impl Machine {
                 env = Envelope {
                     src: msg.src(),
                     handler: msg.handler(),
-                    payload: msg.payload().to_vec(),
+                    payload: msg.payload_shared(),
                 };
             }
             self.jobs[j].fast += 1;
@@ -1820,6 +1828,7 @@ impl Machine {
                 .collect(),
             nodes: self.nodes.iter().map(|n| n.report.clone()).collect(),
             metrics,
+            events_processed: self.events_processed,
         }
     }
 }

@@ -21,6 +21,12 @@ pub struct RunReport {
     /// (`job.<name>.*` and `node<idx>.*` keys), for merging across runs
     /// and JSON export.
     pub metrics: MetricsRegistry,
+    /// Discrete events the engine processed to produce this run — the
+    /// denominator of the perf harness's events/sec figure. Wall-clock
+    /// instrumentation, not a simulated measurement, so it is deliberately
+    /// *excluded* from [`RunReport::to_json`]: result documents must stay
+    /// byte-identical across engine-performance work.
+    pub events_processed: u64,
 }
 
 impl RunReport {

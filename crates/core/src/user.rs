@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use fugu_net::{HandlerId, NodeId};
+use fugu_net::{HandlerId, NodeId, Payload};
 use fugu_sim::coro::CoCtx;
 use fugu_sim::rng::DetRng;
 use fugu_sim::Cycles;
@@ -23,6 +23,10 @@ use fugu_sim::Cycles;
 /// A received message as presented to a handler: source node, handler word
 /// and payload. The routing header and GID have been consumed by the
 /// delivery path (hardware demultiplexing or the software buffer).
+///
+/// The payload is a [`Payload`] — shared with the message it was delivered
+/// from, so constructing an envelope never copies the words. It dereferences
+/// to `&[u32]`, so `env.payload[0]` and `&env.payload[4..]` read as before.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Sending node.
@@ -30,7 +34,7 @@ pub struct Envelope {
     /// The handler word the sender named.
     pub handler: HandlerId,
     /// Payload words.
-    pub payload: Vec<u32>,
+    pub payload: Payload,
 }
 
 /// Requests a sim-thread can make of the machine. Application code never
@@ -47,7 +51,7 @@ pub enum SimCall {
         /// Handler word.
         handler: HandlerId,
         /// Payload words (at most 14).
-        payload: Vec<u32>,
+        payload: Payload,
     },
     /// Conditional `injectc`: like `Send` but reports acceptance instead of
     /// blocking.
@@ -57,7 +61,7 @@ pub enum SimCall {
         /// Handler word.
         handler: HandlerId,
         /// Payload words (at most 14).
-        payload: Vec<u32>,
+        payload: Payload,
     },
     /// Poll the message-available flag; if a message is pending, run its
     /// handler (on the handler context) and report `true`.
@@ -252,7 +256,7 @@ impl<'a> UserCtx<'a> {
         match self.co.call(SimCall::Send {
             dst,
             handler: HandlerId(handler),
-            payload: payload.to_vec(),
+            payload: Payload::from(payload),
         }) {
             SimResp::Ok => {}
             other => unreachable!("bad response to Send: {other:?}"),
@@ -265,7 +269,7 @@ impl<'a> UserCtx<'a> {
         match self.co.call(SimCall::TrySend {
             dst,
             handler: HandlerId(handler),
-            payload: payload.to_vec(),
+            payload: Payload::from(payload),
         }) {
             SimResp::Bool(b) => b,
             other => unreachable!("bad response to TrySend: {other:?}"),

@@ -37,7 +37,7 @@
 //! (as in real CRL), so data is never torn mid-access.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use udm::{Cycles, Envelope, NodeId, UserCtx};
 
@@ -245,6 +245,20 @@ impl Crl {
         rid as usize % self.nnodes
     }
 
+    /// Locks one node's protocol state, recovering from lock poisoning.
+    ///
+    /// A panic in simulated program code (an assertion failure, or the
+    /// machine's structured deadlock dump) unwinds while a node lock is
+    /// held and poisons it. Every protocol entry point goes through this
+    /// helper rather than `lock().unwrap()` so that the *first* panic's
+    /// message survives instead of being buried under a cascade of opaque
+    /// `PoisonError` panics from whichever handlers run afterwards. The
+    /// state itself is safe to reuse: each method leaves it consistent
+    /// before calling back into the machine.
+    fn node(&self, n: NodeId) -> MutexGuard<'_, CrlNode> {
+        self.nodes[n].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn key(rid: Rid) -> u32 {
         0x8000_0000 | rid
     }
@@ -258,7 +272,7 @@ impl Crl {
     /// Panics if the region already exists on this node.
     pub fn create(&self, ctx: &mut UserCtx<'_>, rid: Rid, init: &[u32]) {
         let me = ctx.node();
-        let mut st = self.nodes[me].lock().unwrap();
+        let mut st = self.node(me);
         let prev = st.local.insert(
             rid,
             RegionLocal {
@@ -322,7 +336,7 @@ impl Crl {
             let seq;
             // Fast path: local state already suffices.
             {
-                let mut st = self.nodes[me].lock().unwrap();
+                let mut st = self.node(me);
                 // The home node with no remote owner can serve itself.
                 self.try_home_local(&mut st, me, rid, write);
                 let region = st
@@ -360,7 +374,7 @@ impl Crl {
                 let mut timeout = self.costs.retry_timeout.max(1);
                 let cap = timeout.saturating_mul(64);
                 while !ctx.block_timeout(Self::key(rid), timeout) {
-                    self.nodes[me].lock().unwrap().retries += 1;
+                    self.node(me).retries += 1;
                     ctx.send(self.home(rid), handlers::REQ, &req);
                     timeout = timeout.saturating_mul(2).min(cap);
                 }
@@ -422,7 +436,7 @@ impl Crl {
         let me = ctx.node();
         let deferred;
         {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let region = st.local.get_mut(&rid).expect("region exists");
             assert_eq!(
                 region.hold,
@@ -447,7 +461,7 @@ impl Crl {
     /// Panics unless the caller holds the region (read or write).
     pub fn snapshot(&self, ctx: &mut UserCtx<'_>, rid: Rid) -> Vec<u32> {
         let me = ctx.node();
-        let st = self.nodes[me].lock().unwrap();
+        let st = self.node(me);
         let region = &st.local[&rid];
         assert!(region.hold.is_some(), "snapshot of unheld region {rid}");
         region.data.clone()
@@ -460,7 +474,7 @@ impl Crl {
     /// Panics unless the caller holds the region for write.
     pub fn update<R>(&self, ctx: &mut UserCtx<'_>, rid: Rid, f: impl FnOnce(&mut [u32]) -> R) -> R {
         let me = ctx.node();
-        let mut st = self.nodes[me].lock().unwrap();
+        let mut st = self.node(me);
         let region = st.local.get_mut(&rid).expect("region exists");
         assert_eq!(
             region.hold,
@@ -473,13 +487,13 @@ impl Crl {
     /// Total protocol messages this node has handled (for workload
     /// characterization).
     pub fn protocol_messages(&self, node: NodeId) -> u64 {
-        self.nodes[node].lock().unwrap().proto_msgs
+        self.node(node).proto_msgs
     }
 
     /// Total request retries fired by the timeout protocol, summed over all
     /// nodes. Always zero when fault injection is inert.
     pub fn retries(&self) -> u64 {
-        self.nodes.iter().map(|n| n.lock().unwrap().retries).sum()
+        (0..self.nnodes).map(|n| self.node(n).retries).sum()
     }
 
     // ------------------------------------------------------------------
@@ -498,7 +512,7 @@ impl Crl {
             handlers::FLUSH => self.on_flush(ctx, env),
             _ => return false,
         }
-        self.nodes[ctx.node()].lock().unwrap().proto_msgs += 1;
+        self.node(ctx.node()).proto_msgs += 1;
         ctx.compute(self.costs.protocol);
         true
     }
@@ -528,7 +542,7 @@ impl Crl {
             seq,
         };
         let action = {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             match st.dir.get_mut(&rid) {
                 Some(dir) => {
                     let served = dir.served.get(&req.node).copied().unwrap_or(0);
@@ -624,7 +638,7 @@ impl Crl {
                         // re-issue it. Idempotent: state and data are
                         // unchanged since the first flush.
                         let lost = {
-                            let st = self.nodes[me].lock().unwrap();
+                            let st = self.node(me);
                             let region = &st.local[&rid];
                             region.hold.is_none() && region.deferred.is_none()
                         };
@@ -653,7 +667,7 @@ impl Crl {
                 Grant { req: DirReq, data: Vec<u32> },
             }
             let action = {
-                let mut st = self.nodes[me].lock().unwrap();
+                let mut st = self.node(me);
                 let dir = st.dir.get_mut(&rid).expect("pump at non-home");
                 if dir.busy != DirBusy::Idle {
                     Action::Done
@@ -778,7 +792,7 @@ impl Crl {
                     if req.node == me {
                         // Local grant (home requested its own region while
                         // traffic was queued): install directly.
-                        let mut st = self.nodes[me].lock().unwrap();
+                        let mut st = self.node(me);
                         let region = st.local.get_mut(&rid).expect("created");
                         region.data = data;
                         region.state = if req.write {
@@ -837,7 +851,7 @@ impl Crl {
         let words = &env.payload[4..];
         let me = ctx.node();
         let complete = {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let region = st.local.get_mut(&rid).expect("grant for unknown region");
             if !region.wanted || seq != region.req_seq || region.grant_seen >= seq {
                 // A re-sent grant for a request we have since satisfied or
@@ -878,7 +892,7 @@ impl Crl {
         let rid = env.payload[0];
         let me = ctx.node();
         let deferred = {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let region = st.local.get_mut(&rid).expect("inv for unknown region");
             // Defer only while *held*. A merely `wanted` sharer must ack
             // immediately: it may itself be awaiting a write upgrade from
@@ -906,7 +920,7 @@ impl Crl {
     fn do_invalidate(&self, ctx: &mut UserCtx<'_>, rid: Rid) {
         let me = ctx.node();
         {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let region = st.local.get_mut(&rid).expect("region exists");
             region.state = LState::Invalid;
         }
@@ -927,7 +941,7 @@ impl Crl {
     fn on_ack_internal(&self, ctx: &mut UserCtx<'_>, rid: Rid, sharer: NodeId) {
         let me = ctx.node();
         let done = {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let dir = st.dir.get_mut(&rid).expect("ack at non-home");
             dir.sharers.remove(&sharer);
             // Duplicate acks (re-sent after a re-driven INV, or duplicated
@@ -962,7 +976,7 @@ impl Crl {
             Reflush(Vec<u32>),
         }
         let action = {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let region = st.local.get_mut(&rid).expect("recall for unknown region");
             if region.grant_seen < seq {
                 // The grant being recalled has not arrived here yet (it may
@@ -1004,7 +1018,7 @@ impl Crl {
     fn do_flush(&self, ctx: &mut UserCtx<'_>, rid: Rid, full: bool) {
         let me = ctx.node();
         let data = {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let region = st.local.get_mut(&rid).expect("region exists");
             let data = region.data.clone();
             region.state = if full {
@@ -1033,7 +1047,7 @@ impl Crl {
         let me = ctx.node();
         let owner = env.src;
         let complete = {
-            let mut st = self.nodes[me].lock().unwrap();
+            let mut st = self.node(me);
             let dir = st.dir.get_mut(&rid).expect("flush at non-home");
             // Accept chunks only from the owner we are actually recalling;
             // anything else is a duplicate or a re-sent flush that already
@@ -1065,5 +1079,29 @@ impl Crl {
         if complete {
             self.pump(ctx, rid);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A panic under a node lock (as a simulated-program assertion failure
+    /// produces) must not cascade: later lock acquisitions recover the
+    /// state instead of dying on `PoisonError`, so the first panic's
+    /// message reaches the user intact.
+    #[test]
+    fn poisoned_node_lock_is_recovered() {
+        let crl = Crl::with_costs(2, CrlCosts::default());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut st = crl.nodes[0].lock().unwrap();
+            st.retries = 7;
+            panic!("original diagnostic");
+        }));
+        assert!(caught.is_err());
+        assert!(crl.nodes[0].is_poisoned());
+        // Every public accessor goes through the recovering helper.
+        assert_eq!(crl.retries(), 7);
+        assert_eq!(crl.protocol_messages(0), 0);
     }
 }

@@ -17,5 +17,5 @@
 pub mod msg;
 pub mod network;
 
-pub use msg::{Gid, HandlerId, Message, NodeId, MAX_MESSAGE_WORDS};
+pub use msg::{Gid, HandlerId, Message, NodeId, Payload, MAX_MESSAGE_WORDS};
 pub use network::{Network, NetworkConfig};

@@ -1,5 +1,7 @@
 //! The UDM message: routing header, handler word, payload, GID stamp.
 
+use std::sync::Arc;
+
 /// Index of a node (processor) in the simulated machine.
 ///
 /// A plain alias rather than a newtype because node indices are used
@@ -68,6 +70,99 @@ impl std::fmt::Display for HandlerId {
     }
 }
 
+/// The payload words of a message, shared by reference.
+///
+/// Message payloads are written once (by the sender) and then copied — into
+/// the software buffer, into fault-injected duplicates, into the envelope a
+/// handler sees. Backing the words with an `Arc<[u32]>` makes every one of
+/// those copies a reference-count bump instead of a heap allocation, which
+/// matters because buffered delivery is the simulator's hottest path.
+///
+/// `Payload` dereferences to `&[u32]`, so indexing, slicing and iteration
+/// work as they did when payloads were plain vectors.
+///
+/// # Example
+///
+/// ```
+/// use fugu_net::Payload;
+///
+/// let p = Payload::from(vec![1, 2, 3]);
+/// let copy = p.clone(); // O(1): bumps a refcount, no allocation
+/// assert_eq!(copy[0], 1);
+/// assert_eq!(&p[1..], &[2, 3]);
+/// assert_eq!(p, [1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payload(Arc<[u32]>);
+
+impl Payload {
+    /// The empty payload.
+    pub fn empty() -> Self {
+        Payload(Arc::from([]))
+    }
+
+    /// The words as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl From<Vec<u32>> for Payload {
+    fn from(words: Vec<u32>) -> Self {
+        Payload(Arc::from(words))
+    }
+}
+
+impl From<&[u32]> for Payload {
+    fn from(words: &[u32]) -> Self {
+        Payload(Arc::from(words))
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Payload {
+    fn from(words: [u32; N]) -> Self {
+        Payload(Arc::from(words))
+    }
+}
+
+impl FromIterator<u32> for Payload {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Payload(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq<[u32]> for Payload {
+    fn eq(&self, other: &[u32]) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<&[u32]> for Payload {
+    fn eq(&self, other: &&[u32]) -> bool {
+        *self.0 == **other
+    }
+}
+
+impl PartialEq<Vec<u32>> for Payload {
+    fn eq(&self, other: &Vec<u32>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u32; N]> for Payload {
+    fn eq(&self, other: &[u32; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
 /// A UDM message: variable-length word sequence whose first word is the
 /// routing header (destination) and second word the handler address (§3).
 ///
@@ -86,7 +181,7 @@ pub struct Message {
     dst: NodeId,
     gid: Gid,
     handler: HandlerId,
-    payload: Vec<u32>,
+    payload: Payload,
     /// Machine-wide unique id stamped at launch time; `0` until stamped.
     /// Purely observational (trace events, delivery-invariant checking) —
     /// no protocol logic may branch on it.
@@ -100,7 +195,14 @@ impl Message {
     ///
     /// Panics if the message would exceed [`MAX_MESSAGE_WORDS`] (two header
     /// words plus the payload); the FUGU send buffer cannot describe it.
-    pub fn new(src: NodeId, dst: NodeId, gid: Gid, handler: HandlerId, payload: Vec<u32>) -> Self {
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        gid: Gid,
+        handler: HandlerId,
+        payload: impl Into<Payload>,
+    ) -> Self {
+        let payload = payload.into();
         assert!(
             payload.len() + 2 <= MAX_MESSAGE_WORDS,
             "message of {} words exceeds the {}-word send buffer (use DMA for bulk data)",
@@ -140,6 +242,13 @@ impl Message {
     /// Payload words (excludes the routing header and handler words).
     pub fn payload(&self) -> &[u32] {
         &self.payload
+    }
+
+    /// The payload by shared reference: an O(1) clone of the words, used by
+    /// delivery paths that hand the payload to an envelope without
+    /// copying it.
+    pub fn payload_shared(&self) -> Payload {
+        self.payload.clone()
     }
 
     /// Total length in words as seen by the send descriptor: routing header

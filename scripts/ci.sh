@@ -17,6 +17,21 @@ cargo test --offline -q -p fugu-apps --test crl_chaos_props
 # Chaos smoke: sweep fault injection over every app and assert the
 # delivery guarantees (exits nonzero on any violation).
 cargo run --offline --release -p fugu-bench --bin chaos -- --quick --jobs 4
+# Differential property test: the slab event queue vs the retained legacy
+# implementation (same pop order / now / cancel semantics). Covered by the
+# workspace run; re-run by name for a standalone failure line.
+cargo test --offline -q -p fugu-sim --test event_differential
+# Perf-harness smoke: a small workload must complete and the binary itself
+# re-reads and parses the JSON it wrote (exits nonzero otherwise).
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --offline --release -p fugu-bench --bin perf -- --quick --json "$tmpdir/perf.json" >/dev/null
+# Behavioral-drift gate: engine/perf work must never change simulated
+# results. Regenerate table6 (covers all five apps, runs in seconds) with
+# the committed flags and demand byte-identical output.
+cargo run --offline --release -p fugu-bench --bin table6 -- --jobs 4 --json "$tmpdir/table6.json" >/dev/null
+cmp results/table6.json "$tmpdir/table6.json" \
+  || { echo "ci: results/table6.json drifted from regenerated output" >&2; exit 1; }
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "ci: all checks passed"
