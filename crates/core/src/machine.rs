@@ -139,6 +139,9 @@ struct Proc {
     in_upcall: bool,
     upcall_kind: UpcallKind,
     upcall_start: Cycles,
+    /// Uid of the message the in-flight handler dispatch is servicing
+    /// (profiler bookkeeping only; echoed in [`TraceEvent::HandlerDone`]).
+    upcall_uid: u64,
     wake_permits: HashMap<u32, u32>,
     /// Demand-zero heap pages already faulted in.
     heap_pages: std::collections::HashSet<u32>,
@@ -368,6 +371,7 @@ impl Machine {
                 in_upcall: false,
                 upcall_kind: UpcallKind::Interrupt,
                 upcall_start: 0,
+                upcall_uid: 0,
                 wake_permits: HashMap::new(),
                 heap_pages: std::collections::HashSet::new(),
             });
@@ -415,6 +419,16 @@ impl Machine {
             self.nodes[n].cur_job = sched.job_at(n, 0);
             let gid = self.jobs[self.nodes[n].cur_job].gid;
             self.nodes[n].nic.set_gid(gid);
+            // Tell SCHED subscribers (the span profiler's residency
+            // accounting) which job holds the CPU from cycle 0. The
+            // invariant checker ignores `from_job: None` switches.
+            let to_job = self.nodes[n].cur_job;
+            self.tracer
+                .emit_with(CategoryMask::SCHED, || TraceEvent::QuantumSwitch {
+                    node: n,
+                    from_job: None,
+                    to_job: Some(to_job),
+                });
             if self.jobs.len() > 1 {
                 let at = sched.next_switch(n, 0);
                 self.queue.schedule(at, Ev::Quantum { node: n });
@@ -1019,6 +1033,7 @@ impl Machine {
         proc.in_upcall = true;
         proc.upcall_kind = UpcallKind::Interrupt;
         proc.upcall_start = t;
+        proc.upcall_uid = uid;
         self.jobs[j].fast += 1;
         self.tracer
             .emit_with(CategoryMask::UPCALL, || TraceEvent::FastUpcall {
@@ -1056,6 +1071,7 @@ impl Machine {
             proc.in_upcall = true;
             proc.upcall_kind = UpcallKind::Buffered;
             proc.upcall_start = t;
+            proc.upcall_uid = uid;
             env = Envelope {
                 src: msg.src(),
                 handler: msg.handler(),
@@ -1589,6 +1605,7 @@ impl Machine {
                 proc.in_upcall = true;
                 proc.upcall_kind = UpcallKind::Buffered;
                 proc.upcall_start = t;
+                proc.upcall_uid = uid;
                 // Park the polling main *before* the handler runs: the
                 // handler may complete synchronously inside this call, and
                 // its completion is what re-readies the main thread.
@@ -1634,6 +1651,7 @@ impl Machine {
                 proc.in_upcall = true;
                 proc.upcall_kind = UpcallKind::Poll;
                 proc.upcall_start = t;
+                proc.upcall_uid = uid;
                 // Park the polling main before the handler runs (see the
                 // buffered branch above).
                 proc.main.state = TState::WaitingPoll;
@@ -1658,13 +1676,13 @@ impl Machine {
     }
 
     fn on_handler_complete(&mut self, n: NodeId, j: usize) {
-        let (kind, start) = {
+        let (kind, start, uid) = {
             let proc = &mut self.nodes[n].procs[j];
             if !proc.in_upcall {
                 return; // initial AwaitUpcall at startup
             }
             proc.in_upcall = false;
-            (proc.upcall_kind, proc.upcall_start)
+            (proc.upcall_kind, proc.upcall_start, proc.upcall_uid)
         };
         if kind == UpcallKind::Interrupt {
             self.nodes[n].free_at += self.cfg.costs.rx_interrupt.post();
@@ -1672,6 +1690,19 @@ impl Machine {
         let elapsed = self.nodes[n].free_at.saturating_sub(start);
         self.jobs[j].handler_cycles.push(elapsed as f64);
         self.jobs[j].handler_hist.record(elapsed);
+        // The handler retires at `free_at`, which can run ahead of the
+        // trace clock at this emission (the completion is processed inside
+        // the same event that charged the handler's cycles), so the event
+        // carries the retirement cycle explicitly — same convention as
+        // `FaultNicStall::until`.
+        let end = self.nodes[n].free_at;
+        self.tracer
+            .emit_with(CategoryMask::SPAN, || TraceEvent::HandlerDone {
+                node: n,
+                job: j,
+                uid,
+                end,
+            });
         {
             let node = &mut self.nodes[n];
             let user_atomic = node.procs[j].atomic;

@@ -150,6 +150,13 @@ impl VirtualBuffer {
     /// Consumes the oldest message, releasing any pages that the head has
     /// moved past. The boolean is `true` if the message had been swapped to
     /// backing store (charge the swap-in cost).
+    ///
+    /// The interval from the machine's `BufferInsert` to the
+    /// `BufferExtract` it emits around this call is what the span profiler
+    /// reports as buffered residency, split into `sched` (owning job
+    /// descheduled) and `vbuf` (scheduled but not yet drained) time; the
+    /// extraction and swap-in costs themselves are charged to the CPU after
+    /// extraction, so they land in the span's `handler` segment.
     pub fn pop(&mut self, frames: &mut FrameAllocator) -> Option<(Message, bool)> {
         let (msg, end_addr) = match self.queue.pop_front()? {
             Entry::Swapped { msg } => {

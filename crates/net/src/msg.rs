@@ -272,6 +272,12 @@ impl Message {
     /// Stamps the unique message id; used by the machine at launch so the
     /// trace stream can correlate a message's arrival and delivery with its
     /// launch. Both copies of a fault-injected duplicate share one uid.
+    ///
+    /// The span profiler (`fugu_sim::span`) keys its causal stitching off
+    /// this stamp: every lifecycle event a message produces — launch, NIC
+    /// arrival, buffer insert/extract, upcall, handler retirement — must
+    /// carry the same uid, or the profiler reports the span as broken. An
+    /// unstamped message (uid 0) is invisible to it.
     pub fn with_uid(mut self, uid: u64) -> Self {
         self.uid = uid;
         self

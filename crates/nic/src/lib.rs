@@ -267,11 +267,13 @@ impl Nic {
         if self.in_queue.len() >= self.config.input_queue_msgs {
             return Err(QueueFull(msg));
         }
+        let uid = msg.uid();
         self.in_queue.push_back(msg);
         self.tracer
             .emit_with(CategoryMask::MSG, || TraceEvent::MsgArrive {
                 node: self.node,
                 qlen: self.in_queue.len(),
+                uid,
             });
         Ok(())
     }

@@ -19,6 +19,10 @@
 //!   [`stats::MetricsRegistry`] used by the experiment harnesses;
 //! * [`trace`] — typed [`trace::TraceEvent`]s with a ring-buffer recorder
 //!   and subscriber callbacks, zero-cost when disabled;
+//! * [`span`] — a message-lifecycle profiler that stitches trace events
+//!   into per-message causal spans with exact cycle attribution;
+//! * [`trace_export`] — Chrome trace-event / Perfetto JSON export of
+//!   those spans;
 //! * [`json`] — a dependency-free, deterministic JSON serializer for the
 //!   harnesses' schema-versioned reports;
 //! * [`prop`] — a tiny seeded property-testing driver for the workspace's
@@ -45,8 +49,10 @@ pub mod fault;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod trace;
+pub mod trace_export;
 
 /// Simulated time, measured in processor clock cycles.
 ///

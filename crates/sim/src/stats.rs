@@ -219,6 +219,67 @@ impl Histogram {
         self.total += other.total;
     }
 
+    /// Estimated value at quantile `q` (clamped to `0.0..=1.0`) assuming
+    /// samples spread uniformly within their bucket: the containing bucket
+    /// is found by cumulative rank and the estimate interpolates linearly
+    /// between its edges. Returns `None` when the histogram is empty.
+    /// Samples in the implicit overflow bucket have no upper edge to
+    /// interpolate toward, so quantiles landing there saturate at the last
+    /// bound (record with wide enough bounds if the tail matters).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fugu_sim::stats::Histogram;
+    ///
+    /// let mut h = Histogram::new(&[100]);
+    /// for _ in 0..4 {
+    ///     h.record(10);
+    /// }
+    /// assert_eq!(h.percentile(0.5), Some(50));
+    /// assert_eq!(h.percentile(1.0), Some(100));
+    /// assert_eq!(Histogram::new(&[100]).percentile(0.5), None);
+    /// ```
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let below = seen as f64;
+            seen += c;
+            if c == 0 || (seen as f64) < target {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                break; // overflow bucket: saturate at the last bound
+            }
+            let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+            let hi = self.bounds[i];
+            let frac = ((target - below) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + ((hi - lo) as f64 * frac) as u64);
+        }
+        Some(self.bounds.last().copied().unwrap_or(0))
+    }
+
+    /// Serializes the histogram as a `{bounds, buckets, total}` object —
+    /// the shape embedded in run-report metrics (see
+    /// [`MetricValue::to_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "bounds",
+                Json::array(self.bounds.iter().map(|&b| Json::UInt(b))),
+            ),
+            (
+                "buckets",
+                Json::array(self.buckets.iter().map(|&c| Json::UInt(c))),
+            ),
+            ("total", Json::UInt(self.total)),
+        ])
+    }
+
     /// Smallest boundary `b` such that at least `q` of the mass lies below
     /// `b`'s bucket end; a coarse quantile suited to the bucket widths.
     pub fn quantile_bound(&self, q: f64) -> Option<u64> {
@@ -329,17 +390,7 @@ impl MetricValue {
                 ("min", a.min().into()),
                 ("max", a.max().into()),
             ]),
-            MetricValue::Histogram(h) => Json::object([
-                (
-                    "bounds",
-                    Json::array(h.bounds().iter().map(|&b| Json::UInt(b))),
-                ),
-                (
-                    "buckets",
-                    Json::array(h.buckets().iter().map(|&c| Json::UInt(c))),
-                ),
-                ("total", Json::UInt(h.total())),
-            ]),
+            MetricValue::Histogram(h) => h.to_json(),
         }
     }
 }
@@ -574,6 +625,80 @@ mod tests {
         }
         assert_eq!(h.quantile_bound(0.5), Some(10));
         assert_eq!(h.quantile_bound(0.95), Some(1000));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let h = Histogram::new(&[10, 100]);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(1.0), None);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_single_bucket() {
+        // All mass in the [0, 100) bucket: quantiles walk its width.
+        let mut h = Histogram::new(&[100]);
+        for _ in 0..10 {
+            h.record(7);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(0.5), Some(50));
+        assert_eq!(h.percentile(0.9), Some(90));
+        assert_eq!(h.percentile(1.0), Some(100));
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(h.percentile(-1.0), Some(0));
+        assert_eq!(h.percentile(2.0), Some(100));
+    }
+
+    #[test]
+    fn percentile_spans_buckets_by_rank() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for _ in 0..90 {
+            h.record(5); // bucket [0, 10)
+        }
+        for _ in 0..10 {
+            h.record(500); // bucket [100, 1000)
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        assert!(p50 < 10, "median lies in the dense low bucket, got {p50}");
+        let p95 = h.percentile(0.95).unwrap();
+        assert!(
+            (100..1000).contains(&p95),
+            "p95 lies in the tail bucket, got {p95}"
+        );
+        assert_eq!(h.percentile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn percentile_saturates_in_overflow_bucket() {
+        // u64::MAX lands in the implicit overflow bucket; quantiles there
+        // saturate at the last explicit bound rather than inventing an edge.
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets(), &[0, 0, 2]);
+        assert_eq!(h.percentile(0.5), Some(100));
+        assert_eq!(h.percentile(1.0), Some(100));
+        // A histogram with no explicit bounds at all degenerates to zero.
+        let mut h = Histogram::new(&[]);
+        h.record(42);
+        assert_eq!(h.percentile(0.5), Some(0));
+    }
+
+    #[test]
+    fn histogram_to_json_shape() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(u64::MAX);
+        assert_eq!(
+            h.to_json().render(),
+            r#"{"bounds":[10,100],"buckets":[1,0,1],"total":2}"#
+        );
+        assert_eq!(
+            Histogram::new(&[]).to_json().render(),
+            r#"{"bounds":[],"buckets":[0],"total":0}"#
+        );
     }
 
     #[test]

@@ -64,8 +64,11 @@ impl CategoryMask {
     pub const SCHED: CategoryMask = CategoryMask(1 << 7);
     /// Injected faults (drops, duplicates, stalls — see [`crate::fault`]).
     pub const FAULT: CategoryMask = CategoryMask(1 << 8);
+    /// Message-lifecycle span boundaries consumed by the profiler
+    /// ([`crate::span`]): handler-completion marks.
+    pub const SPAN: CategoryMask = CategoryMask(1 << 9);
     /// Every category.
-    pub const ALL: CategoryMask = CategoryMask(0x1FF);
+    pub const ALL: CategoryMask = CategoryMask(0x3FF);
 
     /// Raw bit representation.
     pub fn bits(self) -> u32 {
@@ -84,8 +87,9 @@ impl CategoryMask {
 
     /// Parses a comma-separated list of category names (as used by the
     /// `FUGU_TRACE` environment variable): `msg`, `upcall`, `buffer`,
-    /// `mode`, `atomicity`, `overflow`, `vm`, `sched`, `fault`, or `all`.
-    /// Unknown names are ignored.
+    /// `mode`, `atomicity`, `overflow`, `vm`, `sched`, `fault`, `span`, or
+    /// `all`. Unknown names are ignored; use [`CategoryMask::parse_report`]
+    /// to find out which names were not recognised.
     ///
     /// # Example
     ///
@@ -99,10 +103,29 @@ impl CategoryMask {
     /// assert_eq!(CategoryMask::parse("all"), CategoryMask::ALL);
     /// ```
     pub fn parse(names: &str) -> CategoryMask {
+        CategoryMask::parse_report(names).0
+    }
+
+    /// Like [`CategoryMask::parse`], but also returns the names that did not
+    /// match any category (trimmed, in input order; empty segments are not
+    /// reported, so trailing commas stay harmless).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fugu_sim::trace::CategoryMask;
+    ///
+    /// let (m, unknown) = CategoryMask::parse_report("msg,nope,");
+    /// assert_eq!(m, CategoryMask::MSG);
+    /// assert_eq!(unknown, ["nope"]);
+    /// ```
+    pub fn parse_report(names: &str) -> (CategoryMask, Vec<String>) {
         let mut mask = CategoryMask::NONE;
+        let mut unknown = Vec::new();
         for name in names.split(',') {
+            let name = name.trim().to_ascii_lowercase();
             mask = mask
-                | match name.trim().to_ascii_lowercase().as_str() {
+                | match name.as_str() {
                     "msg" => CategoryMask::MSG,
                     "upcall" => CategoryMask::UPCALL,
                     "buffer" => CategoryMask::BUFFER,
@@ -112,11 +135,16 @@ impl CategoryMask {
                     "vm" => CategoryMask::VM,
                     "sched" => CategoryMask::SCHED,
                     "fault" => CategoryMask::FAULT,
+                    "span" => CategoryMask::SPAN,
                     "all" => CategoryMask::ALL,
-                    _ => CategoryMask::NONE,
+                    "" => CategoryMask::NONE,
+                    _ => {
+                        unknown.push(name);
+                        CategoryMask::NONE
+                    }
                 };
         }
-        mask
+        (mask, unknown)
     }
 }
 
@@ -152,6 +180,8 @@ pub enum TraceEvent {
         node: usize,
         /// Input-queue depth after the arrival.
         qlen: usize,
+        /// Unique id of the arriving message.
+        uid: u64,
     },
     /// A message was delivered by interrupting the running program (first
     /// case: the fast path).
@@ -276,6 +306,23 @@ pub enum TraceEvent {
         /// The virtual page number touched.
         page: usize,
     },
+    /// A delivered message's handler finished executing.
+    ///
+    /// Emitted when the processor retires the upcall and returns to the
+    /// interrupted context. The trace clock at emission is the event-loop
+    /// time, which can lag the cycle the handler actually retired at, so the
+    /// retirement cycle is carried explicitly in `end` (the same pattern as
+    /// [`TraceEvent::FaultNicStall::until`]).
+    HandlerDone {
+        /// The node whose handler completed.
+        node: usize,
+        /// The job the handler ran for.
+        job: usize,
+        /// Unique id of the message the handler consumed.
+        uid: u64,
+        /// Cycle the handler retired at (processor busy-until time).
+        end: Cycles,
+    },
     /// The gang scheduler switched `node` to a different job.
     QuantumSwitch {
         /// The switching node.
@@ -357,6 +404,7 @@ impl TraceEvent {
             TraceEvent::PageAlloc { .. }
             | TraceEvent::PageRelease { .. }
             | TraceEvent::PageFault { .. } => CategoryMask::VM,
+            TraceEvent::HandlerDone { .. } => CategoryMask::SPAN,
             TraceEvent::QuantumSwitch { .. } => CategoryMask::SCHED,
             TraceEvent::FaultDrop { .. }
             | TraceEvent::FaultDuplicate { .. }
@@ -386,6 +434,7 @@ impl TraceEvent {
             | TraceEvent::PageAlloc { node, .. }
             | TraceEvent::PageRelease { node, .. }
             | TraceEvent::PageFault { node, .. }
+            | TraceEvent::HandlerDone { node, .. }
             | TraceEvent::QuantumSwitch { node, .. }
             | TraceEvent::FaultDrop { node, .. }
             | TraceEvent::FaultDuplicate { node, .. }
@@ -412,8 +461,8 @@ impl fmt::Display for TraceEvent {
                     "msg-launch node={node} job={job} dst={dst} words={words} uid={uid}"
                 )
             }
-            TraceEvent::MsgArrive { node, qlen } => {
-                write!(f, "msg-arrive node={node} qlen={qlen}")
+            TraceEvent::MsgArrive { node, qlen, uid } => {
+                write!(f, "msg-arrive node={node} qlen={qlen} uid={uid}")
             }
             TraceEvent::FastUpcall {
                 node,
@@ -484,6 +533,14 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::PageFault { node, job, page } => {
                 write!(f, "page-fault node={node} job={job} page={page}")
+            }
+            TraceEvent::HandlerDone {
+                node,
+                job,
+                uid,
+                end,
+            } => {
+                write!(f, "handler-done node={node} job={job} uid={uid} end={end}")
             }
             TraceEvent::QuantumSwitch {
                 node,
@@ -669,11 +726,26 @@ impl Tracer {
     /// `FUGU_TRACE_INSERT` and `FUGU_TRACE_MODE` variables remain supported
     /// as aliases for `msg`, `buffer` and `mode`. When any category is
     /// selected, a stderr line-printer subscriber is installed for it;
-    /// otherwise the tracer starts disabled.
+    /// otherwise the tracer starts disabled. Category names that match
+    /// nothing draw a one-time stderr warning (misspelling `buffer` as
+    /// `buffers` should not silently trace nothing).
     pub fn from_env() -> Tracer {
         let mut mask = CategoryMask::NONE;
         if let Ok(names) = std::env::var("FUGU_TRACE") {
-            mask = mask | CategoryMask::parse(&names);
+            let (parsed, unknown) = CategoryMask::parse_report(&names);
+            mask = mask | parsed;
+            if !unknown.is_empty() {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: FUGU_TRACE: unknown categor{} {}; known names: \
+                         msg, upcall, buffer, mode, atomicity, overflow, vm, sched, \
+                         fault, span, all",
+                        if unknown.len() == 1 { "y" } else { "ies" },
+                        unknown.join(", ")
+                    );
+                });
+            }
         }
         for (var, cat) in [
             ("FUGU_TRACE_ARRIVE", CategoryMask::MSG),
@@ -853,10 +925,24 @@ mod tests {
         assert!(t.is_enabled(CategoryMask::MSG));
         assert!(!t.is_enabled(CategoryMask::VM));
         t.set_time(5);
-        t.emit(TraceEvent::MsgArrive { node: 2, qlen: 1 });
+        t.emit(TraceEvent::MsgArrive {
+            node: 2,
+            qlen: 1,
+            uid: 11,
+        });
         t.emit(TraceEvent::PageAlloc { node: 2, in_use: 1 });
         let seen = seen.lock().unwrap();
-        assert_eq!(&*seen, &[(5, TraceEvent::MsgArrive { node: 2, qlen: 1 })]);
+        assert_eq!(
+            &*seen,
+            &[(
+                5,
+                TraceEvent::MsgArrive {
+                    node: 2,
+                    qlen: 1,
+                    uid: 11,
+                }
+            )]
+        );
     }
 
     #[test]
@@ -905,6 +991,37 @@ mod tests {
             CategoryMask::VM | CategoryMask::SCHED
         );
         assert_eq!(CategoryMask::parse("fault"), CategoryMask::FAULT);
+        assert_eq!(CategoryMask::parse("span"), CategoryMask::SPAN);
+    }
+
+    #[test]
+    fn parse_report_names_the_unknowns() {
+        let (mask, unknown) = CategoryMask::parse_report("msg, bogus ,sched,wat");
+        assert_eq!(mask, CategoryMask::MSG | CategoryMask::SCHED);
+        assert_eq!(unknown, ["bogus", "wat"]);
+        // Empty segments (trailing commas, doubled separators) are noise,
+        // not mistakes worth warning about.
+        let (mask, unknown) = CategoryMask::parse_report("vm,,");
+        assert_eq!(mask, CategoryMask::VM);
+        assert!(unknown.is_empty());
+    }
+
+    #[test]
+    fn all_covers_every_category() {
+        for cat in [
+            CategoryMask::MSG,
+            CategoryMask::UPCALL,
+            CategoryMask::BUFFER,
+            CategoryMask::MODE,
+            CategoryMask::ATOMICITY,
+            CategoryMask::OVERFLOW,
+            CategoryMask::VM,
+            CategoryMask::SCHED,
+            CategoryMask::FAULT,
+            CategoryMask::SPAN,
+        ] {
+            assert!(CategoryMask::ALL.intersects(cat));
+        }
     }
 
     #[test]

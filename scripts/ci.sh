@@ -26,6 +26,16 @@ cargo test --offline -q -p fugu-sim --test event_differential
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 cargo run --offline --release -p fugu-bench --bin perf -- --quick --json "$tmpdir/perf.json" >/dev/null
+# Profiler determinism gate: run the span profiler twice on the same seed
+# and demand byte-identical JSON and Perfetto outputs. The binary itself
+# asserts 100% stitch rate, exact attribution sums, and that both
+# artifacts round-trip through Json::parse (exits nonzero otherwise).
+cargo run --offline --release -p fugu-bench --bin profile -- --quick --json "$tmpdir/profile_a.json" >/dev/null
+cargo run --offline --release -p fugu-bench --bin profile -- --quick --json "$tmpdir/profile_b.json" >/dev/null
+cmp "$tmpdir/profile_a.json" "$tmpdir/profile_b.json" \
+  || { echo "ci: profile JSON not deterministic across identical runs" >&2; exit 1; }
+cmp "$tmpdir/profile_a.trace.json" "$tmpdir/profile_b.trace.json" \
+  || { echo "ci: perfetto trace not deterministic across identical runs" >&2; exit 1; }
 # Behavioral-drift gate: engine/perf work must never change simulated
 # results. Regenerate table6 (covers all five apps, runs in seconds) with
 # the committed flags and demand byte-identical output.
