@@ -156,4 +156,81 @@ mod tests {
     fn inverted_watermarks_rejected() {
         OverflowControl::new(2, 8);
     }
+
+    #[test]
+    fn equal_watermarks_skip_straight_to_suspension() {
+        // A degenerate policy where both watermarks coincide is legal; the
+        // suspension check wins, so gang scheduling is never merely advised.
+        let mut oc = OverflowControl::new(4, 4);
+        assert_eq!(oc.check(4), None);
+        assert_eq!(oc.check(3), Some(OverflowAction::SuspendGlobally));
+        assert_eq!(oc.check(0), Some(OverflowAction::SuspendGlobally));
+        assert_eq!(oc.advises(), 0);
+        assert_eq!(oc.suspends(), 2);
+    }
+
+    #[test]
+    fn default_watermarks_partition_a_draining_pool() {
+        // The default policy assumes the 256-frame node pool: frames
+        // 255..=16 are healthy, 15..=4 advise gang scheduling, 3..=0
+        // suspend. Drain the whole pool and check every band.
+        let mut oc = OverflowControl::default();
+        for free in (0..256u64).rev() {
+            let want = if free < 4 {
+                Some(OverflowAction::SuspendGlobally)
+            } else if free < 16 {
+                Some(OverflowAction::AdviseGangSchedule)
+            } else {
+                None
+            };
+            assert_eq!(oc.check(free), want, "free = {free}");
+        }
+        assert_eq!(oc.advises(), 12);
+        assert_eq!(oc.suspends(), 4);
+    }
+
+    #[test]
+    fn decisions_are_emitted_to_the_tracer() {
+        let tracer = Tracer::recorder(64, CategoryMask::OVERFLOW);
+        tracer.set_time(777);
+        let mut oc = OverflowControl::new(8, 2);
+        oc.attach_tracer(tracer.clone(), 3);
+
+        assert_eq!(oc.check(100), None); // healthy: no event
+        oc.check(5); // advise
+        oc.check(1); // suspend
+
+        let records = tracer.take_records();
+        assert_eq!(records.len(), 2, "one event per decision, none when idle");
+        assert_eq!(records[0].at, 777);
+        assert_eq!(
+            records[0].event,
+            TraceEvent::OverflowAdvise {
+                node: 3,
+                free_frames: 5
+            }
+        );
+        assert_eq!(
+            records[1].event,
+            TraceEvent::OverflowSuspend {
+                node: 3,
+                free_frames: 1
+            }
+        );
+    }
+
+    #[test]
+    fn masked_out_tracer_suppresses_events_but_not_counters() {
+        // A recorder that only listens for scheduler events must see no
+        // overflow traffic, while the policy's own counters keep counting
+        // (the harnesses rely on them even in untraced runs).
+        let tracer = Tracer::recorder(64, CategoryMask::SCHED);
+        let mut oc = OverflowControl::new(8, 2);
+        oc.attach_tracer(tracer.clone(), 0);
+        oc.check(5);
+        oc.check(1);
+        assert!(tracer.take_records().is_empty());
+        assert_eq!(oc.advises(), 1);
+        assert_eq!(oc.suspends(), 1);
+    }
 }

@@ -26,7 +26,9 @@
 //! * [`json`] — a dependency-free, deterministic JSON serializer for the
 //!   harnesses' schema-versioned reports;
 //! * [`prop`] — a tiny seeded property-testing driver for the workspace's
-//!   randomized model tests.
+//!   randomized model tests;
+//! * [`explore`] — seeded scenario generation, behavioral-coverage
+//!   deduplication and failure shrinking for the `fugu-explore` harness.
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@
 
 pub mod coro;
 pub mod event;
+pub mod explore;
 pub mod fault;
 pub mod json;
 pub mod prop;

@@ -3,9 +3,17 @@
 //! The randomized model tests in this workspace originally used an external
 //! property-testing crate. The build environment is fully offline, so the
 //! same tests now draw their inputs from [`DetRng`] through this module
-//! instead. [`forall`] runs a check over many independently seeded cases and
-//! reports the failing case's seed so any failure can be replayed in
-//! isolation with `forall(1, seed, check)`.
+//! instead. [`forall`] runs a check over many independently seeded cases
+//! and, on failure, panics with the failing case's index *and* its derived
+//! replay seed, so the exact input stream can be reproduced in isolation
+//! with `forall(1, case_seed, check)` or `DetRng::new(case_seed)`.
+//!
+//! The case count is a baseline, not a ceiling: setting the
+//! `FUGU_PROP_CASES` environment variable overrides the count of every
+//! `forall` in the process (CI uses this to widen property coverage
+//! nightly without touching each call site). Case seeds depend only on
+//! `(base_seed, case index)`, so widening the count strictly extends the
+//! default run's case set.
 //!
 //! # Example
 //!
@@ -24,6 +32,9 @@ use std::panic::AssertUnwindSafe;
 
 use crate::rng::DetRng;
 
+/// Environment variable overriding the case count of every [`forall`].
+pub const CASES_ENV: &str = "FUGU_PROP_CASES";
+
 /// Derives the seed for one case of a [`forall`] run.
 ///
 /// Exposed so a failing case printed by [`forall`] can be reproduced by
@@ -36,12 +47,28 @@ pub fn case_seed(base_seed: u64, case: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Resolves the effective case count: the [`CASES_ENV`] override if it
+/// parses as a positive integer, otherwise the call site's `cases`.
+fn effective_cases(cases: u32, env: Option<&str>) -> u32 {
+    match env.and_then(|v| v.trim().parse::<u32>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => cases,
+    }
+}
+
 /// Runs `check` once per case, each with an independently seeded [`DetRng`].
 ///
-/// On failure the panicking case's index and replay seed are printed to
-/// stderr before the panic is propagated, so `cargo test` output pinpoints
-/// the exact input stream that failed.
+/// The `FUGU_PROP_CASES` environment variable overrides `cases` (see the
+/// module docs).
+///
+/// # Panics
+///
+/// Re-panics on the first failing case with a message naming the case
+/// index, the total count, the derived `case_seed` and the base seed —
+/// everything needed to replay that case alone — wrapping the original
+/// panic text when it is a string.
 pub fn forall(cases: u32, base_seed: u64, check: impl Fn(&mut DetRng)) {
+    let cases = effective_cases(cases, std::env::var(CASES_ENV).ok().as_deref());
     for case in 0..cases {
         let seed = case_seed(base_seed, case);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -49,8 +76,24 @@ pub fn forall(cases: u32, base_seed: u64, check: impl Fn(&mut DetRng)) {
             check(&mut rng);
         }));
         if let Err(payload) = outcome {
-            eprintln!("property failed at case {case}/{cases} (replay seed {seed:#018x})");
-            std::panic::resume_unwind(payload);
+            let heading = format!(
+                "property failed at case {case}/{cases} \
+                 (case_seed {seed:#018x}, base seed {base_seed:#x})"
+            );
+            // Fold the original panic text into the new message when it is
+            // a plain string (the overwhelmingly common case); otherwise
+            // print the heading and propagate the payload untouched.
+            let original = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied());
+            match original {
+                Some(text) => panic!("{heading}: {text}"),
+                None => {
+                    eprintln!("{heading}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
     }
 }
@@ -69,6 +112,8 @@ mod tests {
 
     #[test]
     fn forall_runs_every_case() {
+        // Note: assumes FUGU_PROP_CASES is unset (the normal test setup);
+        // the override logic itself is covered by `env_override_rules`.
         let counted = std::cell::Cell::new(0u32);
         forall(37, 9, |_| counted.set(counted.get() + 1));
         assert_eq!(counted.get(), 37);
@@ -80,5 +125,63 @@ mod tests {
             forall(8, 123, |rng| assert!(rng.next_u64() % 3 != 0));
         });
         assert!(hit.is_err());
+    }
+
+    #[test]
+    fn failure_message_names_case_and_replay_seed() {
+        let base = 123u64;
+        let hit = std::panic::catch_unwind(|| {
+            forall(8, base, |rng| {
+                let v = rng.next_u64();
+                assert!(v % 3 != 0, "divisible: {v}");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = hit
+            .downcast_ref::<String>()
+            .expect("string panic payloads are re-wrapped as strings");
+        // Find the actual failing case to check the message against it.
+        let failing = (0..8)
+            .find(|&c| {
+                let mut rng = DetRng::new(case_seed(base, c));
+                rng.next_u64().is_multiple_of(3)
+            })
+            .expect("some case fails");
+        let seed = case_seed(base, failing);
+        assert!(
+            msg.contains(&format!("case {failing}/8")),
+            "message lacks case index: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("{seed:#018x}")),
+            "message lacks case_seed: {msg}"
+        );
+        assert!(msg.contains("divisible"), "message lacks original: {msg}");
+    }
+
+    #[test]
+    fn replaying_the_reported_seed_reproduces_the_failure() {
+        let base = 123u64;
+        let failing = (0..8)
+            .find(|&c| {
+                let mut rng = DetRng::new(case_seed(base, c));
+                rng.next_u64().is_multiple_of(3)
+            })
+            .expect("some case fails");
+        // `forall(1, case_seed, check)` replays exactly that case: case 0
+        // of the replay derives its stream from the reported seed.
+        let mut rng = DetRng::new(case_seed(base, failing));
+        assert_eq!(rng.next_u64() % 3, 0);
+    }
+
+    #[test]
+    fn env_override_rules() {
+        assert_eq!(effective_cases(10, None), 10);
+        assert_eq!(effective_cases(10, Some("500")), 500);
+        assert_eq!(effective_cases(10, Some(" 25 ")), 25);
+        // Zero, junk and empty values fall back to the call site's count.
+        assert_eq!(effective_cases(10, Some("0")), 10);
+        assert_eq!(effective_cases(10, Some("lots")), 10);
+        assert_eq!(effective_cases(10, Some("")), 10);
     }
 }

@@ -90,6 +90,24 @@ impl DetRng {
         self.range_u64(0, n as u64) as usize
     }
 
+    /// Log-uniform integer in `[lo, hi]`: the *magnitude* is uniform, so
+    /// small and large values are equally likely. The scenario generators
+    /// use this for knobs spanning orders of magnitude (timeslices, page
+    /// budgets, delay lengths), where a linear draw would almost never
+    /// produce a small value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi`.
+    pub fn log_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo > 0, "log range needs a positive lower bound");
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let x = self
+            .range_f64((lo as f64).ln(), (hi as f64 + 1.0).ln())
+            .exp();
+        (x as u64).clamp(lo, hi)
+    }
+
     /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -203,5 +221,35 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         DetRng::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn log_range_respects_bounds_and_favors_magnitudes() {
+        let mut r = DetRng::new(21);
+        let mut small = 0u32;
+        for _ in 0..10_000 {
+            let x = r.log_range_u64(1, 1_000_000);
+            assert!((1..=1_000_000).contains(&x));
+            if x < 1_000 {
+                small += 1;
+            }
+        }
+        // Half the magnitude range lies below 10^3: a linear draw would put
+        // ~0.1% of samples there, a log-uniform one ~50%.
+        assert!((4_000..6_000).contains(&small), "small draws: {small}");
+    }
+
+    #[test]
+    fn log_range_degenerate_interval() {
+        let mut r = DetRng::new(4);
+        for _ in 0..100 {
+            assert_eq!(r.log_range_u64(7, 7), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lower bound")]
+    fn log_range_rejects_zero() {
+        DetRng::new(0).log_range_u64(0, 10);
     }
 }

@@ -36,6 +36,23 @@ cmp "$tmpdir/profile_a.json" "$tmpdir/profile_b.json" \
   || { echo "ci: profile JSON not deterministic across identical runs" >&2; exit 1; }
 cmp "$tmpdir/profile_a.trace.json" "$tmpdir/profile_b.trace.json" \
   || { echo "ci: perfetto trace not deterministic across identical runs" >&2; exit 1; }
+# Explorer smoke: a fixed-seed, bounded-budget sweep of the scenario
+# space under the full oracle stack (exits nonzero on any invariant
+# violation). Run twice at different host parallelism and demand
+# byte-identical corpus JSON (the sweep is a pure function of seed and
+# budget), then compare against the checked-in golden corpus — if a
+# legitimate engine change shifts behavior, regenerate with:
+#   cargo run --release -p fugu-bench --bin explore -- \
+#     --quick --budget 32 --jobs 4 --json results/explore_corpus.json
+# and commit the diff.
+cargo run --offline --release -p fugu-bench --bin explore -- \
+  --quick --budget 32 --jobs 4 --json "$tmpdir/explore_a.json" >/dev/null
+cargo run --offline --release -p fugu-bench --bin explore -- \
+  --quick --budget 32 --jobs 1 --json "$tmpdir/explore_b.json" >/dev/null
+cmp "$tmpdir/explore_a.json" "$tmpdir/explore_b.json" \
+  || { echo "ci: explore corpus not deterministic across --jobs" >&2; exit 1; }
+cmp results/explore_corpus.json "$tmpdir/explore_a.json" \
+  || { echo "ci: results/explore_corpus.json drifted from regenerated output" >&2; exit 1; }
 # Behavioral-drift gate: engine/perf work must never change simulated
 # results. Regenerate table6 (covers all five apps, runs in seconds) with
 # the committed flags and demand byte-identical output.
